@@ -1,0 +1,120 @@
+// M1 · engineering micro-benchmarks (google-benchmark).
+//
+// Measures the simulator's raw speed: events/sec in the event-driven
+// engine, slots/sec in the reference engine, and the RNG/geometric-gap
+// primitives both engines are built on. The headline: gap-skipping makes
+// cost proportional to CHANNEL ACCESSES, not slots — the same property
+// that makes LOW-SENSING BACKOFF energy-efficient makes it cheap to
+// simulate.
+#include <benchmark/benchmark.h>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "core/rng.hpp"
+#include "protocols/low_sensing.hpp"
+#include "protocols/mw_full_sensing.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace {
+
+using namespace lowsense;
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_GeometricGap(benchmark::State& state) {
+  Rng rng(2);
+  const double p = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(rng.geometric_gap(p));
+}
+BENCHMARK(BM_GeometricGap)->Arg(16)->Arg(1 << 20);
+
+void BM_LsbObservation(benchmark::State& state) {
+  LowSensingBackoff lsb;
+  bool noisy = true;
+  for (auto _ : state) {
+    lsb.on_observation({noisy ? Feedback::kNoisy : Feedback::kEmpty, false});
+    noisy = !noisy;
+    benchmark::DoNotOptimize(lsb.window());
+  }
+}
+BENCHMARK(BM_LsbObservation);
+
+void BM_EventEngineBatch(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t total_slots = 0;
+  for (auto _ : state) {
+    LowSensingFactory factory;
+    BatchArrivals arrivals(n);
+    NoJammer none;
+    RunConfig cfg;
+    cfg.seed = 1;
+    EventEngine engine(factory, arrivals, none, cfg);
+    const RunResult r = engine.run();
+    total_slots += r.counters.active_slots;
+    benchmark::DoNotOptimize(r.counters.successes);
+  }
+  state.counters["slots/s"] = benchmark::Counter(static_cast<double>(total_slots),
+                                                 benchmark::Counter::kIsRate);
+  state.counters["pkts/s"] =
+      benchmark::Counter(static_cast<double>(n) * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventEngineBatch)->Arg(256)->Arg(2048)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+void BM_SlotEngineBatch(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t total_slots = 0;
+  for (auto _ : state) {
+    LowSensingFactory factory;
+    BatchArrivals arrivals(n);
+    NoJammer none;
+    RunConfig cfg;
+    cfg.seed = 1;
+    SlotEngine engine(factory, arrivals, none, cfg);
+    const RunResult r = engine.run();
+    total_slots += r.counters.active_slots;
+    benchmark::DoNotOptimize(r.counters.successes);
+  }
+  state.counters["slots/s"] = benchmark::Counter(static_cast<double>(total_slots),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SlotEngineBatch)->Arg(256)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_EventEngineMwFullSensing(benchmark::State& state) {
+  // Worst case for the event engine: a protocol that accesses every slot
+  // (no gaps to skip) — quantifies the value of gap-skipping by contrast.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    MwFullSensingFactory factory;
+    BatchArrivals arrivals(n);
+    NoJammer none;
+    RunConfig cfg;
+    cfg.seed = 1;
+    EventEngine engine(factory, arrivals, none, cfg);
+    benchmark::DoNotOptimize(engine.run().counters.successes);
+  }
+}
+BENCHMARK(BM_EventEngineMwFullSensing)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_EventEngineJammed(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    LowSensingFactory factory;
+    BatchArrivals arrivals(n);
+    BurstJammer jammer(1000, 100);
+    RunConfig cfg;
+    cfg.seed = 1;
+    EventEngine engine(factory, arrivals, jammer, cfg);
+    benchmark::DoNotOptimize(engine.run().counters.successes);
+  }
+}
+BENCHMARK(BM_EventEngineJammed)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

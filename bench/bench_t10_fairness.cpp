@@ -1,0 +1,132 @@
+// T10 · §6 (Conclusion) — fairness, the paper's open question.
+//
+// "LOW-SENSING BACKOFF is not guaranteed to be fair; it is possible for
+// some packets to succeed quickly, while others linger." This extension
+// experiment quantifies that: per-packet latency distributions on a
+// batch, summarized by Jain's fairness index over waiting times and by
+// tail/median latency ratios, for LSB vs. the full-sensing MW baseline
+// vs. BEB, plus LSB under jamming.
+//
+// Expected shape: LSB pays for its energy efficiency with a heavier
+// latency tail (lower fairness index) than the every-slot listener —
+// lingering packets have large windows and repair them only slowly —
+// while still completing everything (Θ(1) throughput).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "protocols/registry.hpp"
+
+using namespace lowsense;
+
+namespace {
+
+/// Collects every departed packet's latency.
+struct LatencyProbe final : Observer {
+  std::vector<double> latencies;
+  void on_departure(Slot slot, PacketId, Slot arrival, std::uint64_t, std::uint64_t,
+                    double) override {
+    latencies.push_back(static_cast<double>(slot - arrival + 1));
+  }
+};
+
+/// Jain's fairness index over "rates" 1/latency: 1 = perfectly fair,
+/// 1/n = one packet hogs the channel.
+double jain_index(const std::vector<double>& latencies) {
+  if (latencies.empty()) return 1.0;
+  double s = 0.0, s2 = 0.0;
+  for (double l : latencies) {
+    const double rate = 1.0 / std::max(l, 1.0);
+    s += rate;
+    s2 += rate * rate;
+  }
+  return s * s / (static_cast<double>(latencies.size()) * s2);
+}
+
+struct FairnessRow {
+  double jain = 0.0;
+  double p50 = 0.0, p99 = 0.0, max = 0.0;
+  double tp = 0.0;
+};
+
+FairnessRow measure(const std::string& proto, std::uint64_t n, double jam_rate,
+                    std::uint64_t seed, int reps) {
+  FairnessRow acc;
+  std::vector<double> jains, p50s, p99s, maxs, tps;
+  for (int i = 0; i < reps; ++i) {
+    Scenario s;
+    s.protocol = [proto] { return make_protocol(proto); };
+    s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
+    if (jam_rate > 0.0) {
+      s.jammer = [jam_rate](std::uint64_t sd) {
+        return std::make_unique<RandomJammer>(jam_rate, 0, Rng::stream(sd, 0xfa1));
+      };
+    }
+    s.config.max_active_slots = 500ULL * n;
+    LatencyProbe probe;
+    const RunResult r = run_scenario(s, seed + static_cast<std::uint64_t>(i), {&probe});
+    std::sort(probe.latencies.begin(), probe.latencies.end());
+    jains.push_back(jain_index(probe.latencies));
+    p50s.push_back(quantile_sorted(probe.latencies, 0.5));
+    p99s.push_back(quantile_sorted(probe.latencies, 0.99));
+    maxs.push_back(probe.latencies.empty() ? 0.0 : probe.latencies.back());
+    tps.push_back(r.throughput());
+  }
+  acc.jain = Summary::of(jains).median;
+  acc.p50 = Summary::of(p50s).median;
+  acc.p99 = Summary::of(p99s).median;
+  acc.max = Summary::of(maxs).median;
+  acc.tp = Summary::of(tps).median;
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::uint64_t n = args.u64("n", 4096);
+  const int reps = static_cast<int>(args.u64("reps", 5));
+  const std::uint64_t seed = args.u64("seed", 10);
+
+  report_header("T10", "§6 Conclusion (open question)",
+                "LSB is not guaranteed fair: quantify the latency spread it trades for "
+                "energy efficiency");
+
+  Table table({"protocol", "jam", "Jain idx", "p50 lat", "p99 lat", "max lat", "p99/p50",
+               "tp"});
+  FairnessRow lsb, mw;
+  for (const std::string proto : {"low-sensing", "mw-full-sensing", "binary-exponential"}) {
+    const std::uint64_t nn = proto == "mw-full-sensing" ? std::min<std::uint64_t>(n, 4096) : n;
+    const FairnessRow row = measure(proto, nn, 0.0, seed, reps);
+    if (proto == "low-sensing") lsb = row;
+    if (proto == "mw-full-sensing") mw = row;
+    table.add_row({proto, "0", Table::num(row.jain, 3), Table::num(row.p50, 4),
+                   Table::num(row.p99, 4), Table::num(row.max, 4),
+                   Table::num(row.p99 / std::max(row.p50, 1.0), 3), Table::num(row.tp, 3)});
+    std::fflush(stdout);
+  }
+  const FairnessRow jammed = measure("low-sensing", n, 0.3, seed, reps);
+  table.add_row({"low-sensing", "0.3", Table::num(jammed.jain, 3), Table::num(jammed.p50, 4),
+                 Table::num(jammed.p99, 4), Table::num(jammed.max, 4),
+                 Table::num(jammed.p99 / std::max(jammed.p50, 1.0), 3),
+                 Table::num(jammed.tp, 3)});
+
+  report_table(table, "(batch N=" + std::to_string(n) +
+                          "; Jain index over per-packet completion rates, 1 = fair)");
+
+  report_check("LSB completes everything (tp Theta(1)) despite unfairness", lsb.tp > 0.15);
+  report_check("LSB latency tail heavier than full-sensing MW (p99/p50 larger)",
+               lsb.p99 / std::max(lsb.p50, 1.0) > mw.p99 / std::max(mw.p50, 1.0),
+               "lsb=" + Table::num(lsb.p99 / std::max(lsb.p50, 1.0), 3) +
+                   " mw=" + Table::num(mw.p99 / std::max(mw.p50, 1.0), 3));
+  report_check("jamming widens the LSB tail further",
+               jammed.p99 / std::max(jammed.p50, 1.0) >=
+                   lsb.p99 / std::max(lsb.p50, 1.0) * 0.8);
+
+  report_footer("T10");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// T7 · §4.2 potential function + Theorem 5.18 interval decrease.
+//
+// Tracks Φ(t) = α₁N(t) + α₂H(t) + α₃L(t) through a batch execution and
+// through a jam-burst execution, slicing time into the paper's analysis
+// intervals τ = (1/c_int)·max{L(t), √N(t)}.
+//
+// Shape targets (Theorem 5.18 / Corollary 5.22):
+//   * absent arrivals and jams, Φ decreases in the large majority of
+//     intervals, at a per-slot rate bounded away from 0;
+//   * Φ_max = O(N + J) with a small constant;
+//   * intervals containing jam bursts may gain only O(A + J).
+// Also exercises the adaptive contention-band jammer on the slot engine
+// (the adversary that spends noise exactly where successes were likely).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "metrics/potential.hpp"
+#include "protocols/registry.hpp"
+
+using namespace lowsense;
+
+namespace {
+
+struct IntervalStats {
+  int total = 0;
+  int clean = 0;            // A = J = 0
+  int clean_decreasing = 0; // ΔΦ < 0 among clean
+  double mean_clean_drift = 0.0;
+  double worst_gain_vs_aj = 0.0;  // max over jammed intervals of ΔΦ - 8(A+J)
+};
+
+IntervalStats analyze(const std::vector<IntervalRecord>& intervals) {
+  IntervalStats st;
+  double drift_sum = 0.0;
+  for (const auto& iv : intervals) {
+    ++st.total;
+    if (iv.arrivals == 0 && iv.jams == 0) {
+      ++st.clean;
+      st.clean_decreasing += iv.delta_phi() < 0.0;
+      drift_sum += iv.drift_per_slot();
+    } else {
+      const double gain = iv.delta_phi() - 8.0 * static_cast<double>(iv.arrivals + iv.jams);
+      st.worst_gain_vs_aj = std::max(st.worst_gain_vs_aj, gain);
+    }
+  }
+  st.mean_clean_drift = st.clean > 0 ? drift_sum / st.clean : 0.0;
+  return st;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::uint64_t n = args.u64("n", 8192);
+  const std::uint64_t seed = args.u64("seed", 7);
+
+  report_header("T7", "§4.2 + Thm 5.18 + Cor 5.22",
+                "Phi decreases Omega(tau) per clean interval; jumps bounded by O(A+J); "
+                "Phi_max = O(N+J)");
+
+  Table table({"scenario", "intervals", "clean", "% clean decr.", "mean drift/slot",
+               "Phi_max", "Phi_max/(N+J)", "worst jump-8(A+J)"});
+
+  struct Case {
+    const char* name;
+    bool jam;
+    bool adaptive;
+  };
+  bool clean_ok = true, linear_ok = true, drift_ok = true;
+
+  for (const Case c : {Case{"batch-clean", false, false}, Case{"batch+burst-jam", true, false},
+                       Case{"batch+adaptive-jam", true, true}}) {
+    Scenario s;
+    s.protocol = [] { return make_protocol("low-sensing"); };
+    s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
+    std::uint64_t jam_budget = 0;
+    if (c.jam && !c.adaptive) {
+      s.jammer = [](std::uint64_t) { return std::make_unique<BurstJammer>(2000, 300); };
+    } else if (c.adaptive) {
+      jam_budget = n / 2;
+      // Adaptive adversary: jam exactly when contention is in the good
+      // band (successes likely). Requires the slot engine.
+      s.jammer = [jam_budget](std::uint64_t) {
+        return std::make_unique<ContentionBandJammer>(0.5, 4.0, jam_budget);
+      };
+      s.engine = EngineKind::kSlot;
+    }
+    s.config.max_active_slots = 200ULL * n;
+
+    PotentialTracker phi;
+    const RunResult r = run_scenario(s, seed, {&phi});
+    const IntervalStats st = analyze(phi.intervals());
+    const double nj = static_cast<double>(n + r.counters.jammed_active_slots);
+    const double ratio = phi.max_phi_seen() / nj;
+
+    table.add_row({c.name, std::to_string(st.total), std::to_string(st.clean),
+                   st.clean ? Table::num(100.0 * st.clean_decreasing / st.clean, 3) : "-",
+                   Table::num(st.mean_clean_drift, 3), Table::num(phi.max_phi_seen(), 4),
+                   Table::num(ratio, 3), Table::num(st.worst_gain_vs_aj, 4)});
+
+    if (!c.jam) {
+      clean_ok &= st.clean > 10 && st.clean_decreasing > 0.65 * st.clean;
+      drift_ok &= st.mean_clean_drift < -0.05;
+    }
+    linear_ok &= ratio < 30.0;
+    std::fflush(stdout);
+  }
+
+  report_table(table,
+               "(drift/slot = ΔΦ/τ; 'worst jump' positive means an interval gained more than "
+               "8(A+J) — Thm 5.18's failure event)");
+
+  report_check("clean intervals decrease Phi >65% of the time", clean_ok);
+  report_check("mean clean drift < -0.05 per slot (Omega(tau) decrease)", drift_ok);
+  report_check("Phi_max = O(N+J) with constant < 30", linear_ok);
+
+  report_footer("T7");
+  return 0;
+}

@@ -1,0 +1,189 @@
+// General-purpose scenario runner: compose any protocol × arrival process
+// × jammer from the command line and get a metrics table (or CSV). This
+// is the "kick the tires" tool for the whole public API.
+//
+//   ./lowsense_cli --protocol=low-sensing --arrivals=batch:10000
+//                  --jammer=random:0.2 --reps=5 --seed=1
+//   ./lowsense_cli --protocol=beb --arrivals=poisson:0.05,5000 --csv
+//   ./lowsense_cli --arrivals=aqt:0.2,1024,front,20000 --jammer=burst:1000,100
+//
+// Arrival specs:  batch:N | poisson:rate,N | aqt:lambda,S,pattern,N
+//                 (pattern: spread|front|random|pulse)
+// Jammer specs:   none | random:rate[,budget] | burst:period,len |
+//                 victim:id,budget | blanket:budget | band:lo,hi,budget
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/energy.hpp"
+#include "protocols/registry.hpp"
+
+using namespace lowsense;
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (std::getline(in, tok, sep)) out.push_back(tok);
+  return out;
+}
+
+std::function<std::unique_ptr<ArrivalProcess>(std::uint64_t)> parse_arrivals(
+    const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::vector<std::string> args =
+      colon == std::string::npos ? std::vector<std::string>{} : split(spec.substr(colon + 1), ',');
+
+  if (kind == "batch" && args.size() == 1) {
+    const std::uint64_t n = std::stoull(args[0]);
+    return [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
+  }
+  if (kind == "poisson" && args.size() == 2) {
+    const double rate = std::stod(args[0]);
+    const std::uint64_t n = std::stoull(args[1]);
+    return [rate, n](std::uint64_t seed) {
+      return std::make_unique<PoissonArrivals>(rate, n, Rng::stream(seed, 0xa1));
+    };
+  }
+  if (kind == "aqt" && args.size() == 4) {
+    const double lambda = std::stod(args[0]);
+    const Slot s = std::stoull(args[1]);
+    AqtPattern pattern = AqtPattern::kFront;
+    if (args[2] == "spread") pattern = AqtPattern::kSpread;
+    else if (args[2] == "random") pattern = AqtPattern::kRandom;
+    else if (args[2] == "pulse") pattern = AqtPattern::kPulse;
+    else if (args[2] != "front") return nullptr;
+    const std::uint64_t n = std::stoull(args[3]);
+    return [=](std::uint64_t seed) {
+      return std::make_unique<AqtArrivals>(lambda, s, pattern, n, Rng::stream(seed, 0xa2));
+    };
+  }
+  return nullptr;
+}
+
+std::function<std::unique_ptr<Jammer>(std::uint64_t)> parse_jammer(const std::string& spec) {
+  if (spec.empty() || spec == "none") {
+    return [](std::uint64_t) { return std::make_unique<NoJammer>(); };
+  }
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::vector<std::string> args =
+      colon == std::string::npos ? std::vector<std::string>{} : split(spec.substr(colon + 1), ',');
+
+  if (kind == "random" && !args.empty()) {
+    const double rate = std::stod(args[0]);
+    const std::uint64_t budget = args.size() > 1 ? std::stoull(args[1]) : 0;
+    return [rate, budget](std::uint64_t seed) {
+      return std::make_unique<RandomJammer>(rate, budget, Rng::stream(seed, 0xb1));
+    };
+  }
+  if (kind == "burst" && args.size() == 2) {
+    const Slot period = std::stoull(args[0]);
+    const Slot len = std::stoull(args[1]);
+    return [period, len](std::uint64_t) { return std::make_unique<BurstJammer>(period, len); };
+  }
+  if (kind == "victim" && args.size() == 2) {
+    const PacketId id = std::stoull(args[0]);
+    const std::uint64_t budget = std::stoull(args[1]);
+    return [id, budget](std::uint64_t) {
+      return std::make_unique<ReactiveVictimJammer>(id, budget);
+    };
+  }
+  if (kind == "blanket" && args.size() == 1) {
+    const std::uint64_t budget = std::stoull(args[0]);
+    return [budget](std::uint64_t) { return std::make_unique<ReactiveBlanketJammer>(budget); };
+  }
+  if (kind == "band" && args.size() == 3) {
+    const double lo = std::stod(args[0]);
+    const double hi = std::stod(args[1]);
+    const std::uint64_t budget = std::stoull(args[2]);
+    return [lo, hi, budget](std::uint64_t) {
+      return std::make_unique<ContentionBandJammer>(lo, hi, budget);
+    };
+  }
+  return nullptr;
+}
+
+void usage() {
+  std::printf("usage: lowsense_cli [--protocol=NAME] [--arrivals=SPEC] [--jammer=SPEC]\n"
+              "                    [--reps=K] [--seed=S] [--max-active-slots=B]\n"
+              "                    [--engine=event|slot] [--csv]\n\n"
+              "protocols: ");
+  for (const auto& name : protocol_names()) std::printf("%s ", name.c_str());
+  std::printf("\narrivals : batch:N | poisson:rate,N | aqt:lambda,S,pattern,N\n");
+  std::printf("jammers  : none | random:rate[,budget] | burst:period,len |\n"
+              "           victim:id,budget | blanket:budget | band:lo,hi,budget\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.flag("help")) {
+    usage();
+    return 0;
+  }
+
+  const std::string proto = args.str("protocol", "low-sensing");
+  const std::string arrivals_spec = args.str("arrivals", "batch:1000");
+  const std::string jammer_spec = args.str("jammer", "none");
+  const int reps = static_cast<int>(args.u64("reps", 3));
+  const std::uint64_t seed = args.u64("seed", 1);
+
+  Scenario s;
+  s.name = proto + "/" + arrivals_spec + "/" + jammer_spec;
+  s.protocol = [proto] { return make_protocol(proto); };
+  s.arrivals = parse_arrivals(arrivals_spec);
+  s.jammer = parse_jammer(jammer_spec);
+  s.config.max_active_slots = args.u64("max-active-slots", 50000000ULL);
+  s.engine = args.str("engine", "event") == "slot" ? EngineKind::kSlot : EngineKind::kEvent;
+
+  if (!make_protocol(proto)) {
+    std::fprintf(stderr, "unknown protocol '%s'\n\n", proto.c_str());
+    usage();
+    return 2;
+  }
+  if (!s.arrivals || !s.jammer) {
+    std::fprintf(stderr, "bad arrivals/jammer spec\n\n");
+    usage();
+    return 2;
+  }
+
+  const Replicates r = replicate(s, reps, seed);
+
+  Table table({"metric", "median", "min", "max"});
+  auto add = [&](const std::string& name, const Summary& sum, int prec = 4) {
+    table.add_row({name, Table::num(sum.median, prec), Table::num(sum.min, prec),
+                   Table::num(sum.max, prec)});
+  };
+  add("throughput (T+J)/S", r.throughput(), 3);
+  add("implicit throughput", r.implicit_throughput(), 3);
+  add("active slots", r.summarize([](const RunResult& x) {
+        return static_cast<double>(x.counters.active_slots);
+      }));
+  add("jammed active slots", r.summarize([](const RunResult& x) {
+        return static_cast<double>(x.counters.jammed_active_slots);
+      }));
+  add("delivered", r.summarize([](const RunResult& x) {
+        return static_cast<double>(x.counters.successes);
+      }));
+  add("peak backlog", r.peak_backlog());
+  add("mean accesses/pkt", r.mean_accesses());
+  add("max accesses/pkt", r.max_accesses());
+  add("mean sends/pkt", r.summarize([](const RunResult& x) { return x.send_stats.mean(); }));
+  add("mean latency", r.summarize([](const RunResult& x) { return x.latency_stats.mean(); }));
+  add("max window", r.summarize([](const RunResult& x) { return x.max_window_seen; }));
+  add("drained (1=yes)", r.summarize([](const RunResult& x) { return x.drained ? 1.0 : 0.0; }), 1);
+
+  std::printf("scenario: %s  (reps=%d, seed=%llu)\n", s.name.c_str(), reps,
+              static_cast<unsigned long long>(seed));
+  std::printf("%s", args.flag("csv") ? table.csv().c_str() : table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "adversary/aqt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lowsense {
+
+AqtConstraintChecker::AqtConstraintChecker(double lambda, Slot granularity)
+    : lambda_(lambda), s_(granularity) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("AqtConstraintChecker: lambda > 0");
+  if (s_ == 0) throw std::invalid_argument("AqtConstraintChecker: granularity > 0");
+}
+
+std::uint64_t AqtConstraintChecker::budget() const noexcept {
+  return static_cast<std::uint64_t>(lambda_ * static_cast<double>(s_));
+}
+
+std::optional<AqtViolation> AqtConstraintChecker::check(std::vector<Slot> events) const {
+  if (events.empty()) return std::nullopt;
+  std::sort(events.begin(), events.end());
+  const std::uint64_t cap = std::max<std::uint64_t>(budget(), 1);
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < events.size(); ++hi) {
+    // Maintain the window ending at events[hi]: [events[hi] - S + 1, events[hi]].
+    const Slot window_lo = events[hi] >= s_ - 1 ? events[hi] - (s_ - 1) : 0;
+    while (events[lo] < window_lo) ++lo;
+    const std::uint64_t load = hi - lo + 1;
+    if (load > cap) return AqtViolation{window_lo, load};
+  }
+  return std::nullopt;
+}
+
+std::uint64_t AqtConstraintChecker::max_window_load(std::vector<Slot> events) const {
+  if (events.empty()) return 0;
+  std::sort(events.begin(), events.end());
+  std::uint64_t best = 0;
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < events.size(); ++hi) {
+    const Slot window_lo = events[hi] >= s_ - 1 ? events[hi] - (s_ - 1) : 0;
+    while (events[lo] < window_lo) ++lo;
+    best = std::max<std::uint64_t>(best, hi - lo + 1);
+  }
+  return best;
+}
+
+}  // namespace lowsense

@@ -1,0 +1,45 @@
+// Adversarial-queuing-theory constraint checking (§1.1).
+//
+// The (λ, S) constraint: in EVERY window of S consecutive slots, the
+// number of packet arrivals plus jammed slots is at most λ·S. The checker
+// validates concrete streams (arrivals + jam schedules) against the
+// constraint — used in tests to certify that every AqtArrivals pattern is
+// a legal adversary, and exposed publicly so users can vet custom streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace lowsense {
+
+struct AqtViolation {
+  Slot window_start = 0;
+  std::uint64_t load = 0;  ///< arrivals + jams inside [window_start, window_start+S)
+};
+
+class AqtConstraintChecker {
+ public:
+  AqtConstraintChecker(double lambda, Slot granularity);
+
+  /// `events` is the multiset of load-bearing slots: one entry per packet
+  /// arrival (slot repeated `count` times) and one per jammed slot. Order
+  /// does not matter. Returns the first violating window, if any.
+  /// Runs in O(n log n) via sort + two-pointer sliding window.
+  std::optional<AqtViolation> check(std::vector<Slot> events) const;
+
+  /// Maximum load over all S-windows of the event multiset (0 if empty).
+  std::uint64_t max_window_load(std::vector<Slot> events) const;
+
+  double lambda() const noexcept { return lambda_; }
+  Slot granularity() const noexcept { return s_; }
+  std::uint64_t budget() const noexcept;  ///< floor(λ·S)
+
+ private:
+  double lambda_;
+  Slot s_;
+};
+
+}  // namespace lowsense

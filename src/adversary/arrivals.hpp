@@ -1,0 +1,116 @@
+// Packet arrival processes (the adversary's injection side, §1.1).
+//
+// An ArrivalProcess is a pull-stream of bursts at strictly increasing
+// slots. Both engines consume the same stream representation, so any
+// process works with either engine. Adaptivity in this library lives in
+// the jammers; arrival schedules are fixed per run (each adversarial
+// pattern is a concrete worst-case schedule from the paper's discussion).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace lowsense {
+
+struct ArrivalBurst {
+  Slot slot = 0;
+  std::uint64_t count = 0;
+};
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Next burst, at a slot strictly greater than any previously returned.
+  /// std::nullopt once the stream is exhausted (infinite processes never
+  /// return nullopt but engines bound runs by horizon / packet budget).
+  virtual std::optional<ArrivalBurst> next() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// All N packets arrive in slot 0 — the classical batch instance on which
+/// BEB's throughput is Θ(1/log N) [23].
+class BatchArrivals final : public ArrivalProcess {
+ public:
+  explicit BatchArrivals(std::uint64_t n, Slot slot = 0) : n_(n), slot_(slot) {}
+  std::optional<ArrivalBurst> next() override;
+  std::string name() const override { return "batch"; }
+
+ private:
+  std::uint64_t n_;
+  Slot slot_;
+  bool done_ = false;
+};
+
+/// Fixed schedule of bursts (must be strictly increasing in slot).
+class ScheduleArrivals final : public ArrivalProcess {
+ public:
+  explicit ScheduleArrivals(std::vector<ArrivalBurst> bursts);
+  std::optional<ArrivalBurst> next() override;
+  std::string name() const override { return "schedule"; }
+
+ private:
+  std::vector<ArrivalBurst> bursts_;
+  std::size_t idx_ = 0;
+};
+
+/// Poisson arrivals at `rate` packets/slot (iid per slot), optionally
+/// truncated after `max_packets`. Generated lazily via exponential gaps.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(double rate, std::uint64_t max_packets, Rng rng);
+  std::optional<ArrivalBurst> next() override;
+  std::string name() const override { return "poisson"; }
+
+ private:
+  double rate_;
+  std::uint64_t remaining_;
+  Rng rng_;
+  Slot cur_ = 0;
+  bool first_ = true;
+};
+
+/// In-window placement patterns for adversarial-queuing arrivals.
+enum class AqtPattern {
+  kSpread,  ///< budget spaced evenly through each window
+  kFront,   ///< whole budget as one burst at the window start
+  kRandom,  ///< half the budget at uniform random offsets per window (half
+            ///< so that sliding windows straddling a boundary stay legal)
+  kPulse,   ///< alternating loaded/empty windows, double budget when loaded
+};
+
+/// Adversarial-queuing arrivals (granularity S, rate λ): at most λ·S
+/// packets in any window of S consecutive slots, placed adversarially
+/// (§1.1). `kPulse` drops the whole λ·S budget as one burst at the start
+/// of every other window (maximum burstiness at half the average rate);
+/// all patterns satisfy the sliding-window constraint, which the
+/// AqtConstraintChecker (aqt.hpp) verifies in tests.
+class AqtArrivals final : public ArrivalProcess {
+ public:
+  AqtArrivals(double lambda, Slot granularity, AqtPattern pattern, std::uint64_t max_packets,
+              Rng rng);
+  std::optional<ArrivalBurst> next() override;
+  std::string name() const override;
+
+ private:
+  void fill_window();
+
+  double lambda_;
+  Slot s_;
+  AqtPattern pattern_;
+  std::uint64_t remaining_;
+  Rng rng_;
+  Slot window_start_ = 0;
+  std::uint64_t window_index_ = 0;
+  std::vector<ArrivalBurst> pending_;  // bursts of the current window
+  std::size_t pending_idx_ = 0;
+};
+
+}  // namespace lowsense

@@ -1,0 +1,159 @@
+#include "adversary/jammer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lowsense {
+
+// ---------------------------------------------------------------- schedule
+
+ScheduleJammer::ScheduleJammer(std::vector<Slot> slots) : slots_(std::move(slots)) {
+  std::sort(slots_.begin(), slots_.end());
+  slots_.erase(std::unique(slots_.begin(), slots_.end()), slots_.end());
+}
+
+bool ScheduleJammer::jam(Slot slot, const SystemView&, std::span<const PacketId>) {
+  const bool hit = std::binary_search(slots_.begin(), slots_.end(), slot);
+  if (hit) ++used_;
+  return hit;
+}
+
+std::uint64_t ScheduleJammer::count_quiet_range(Slot lo, Slot hi, const SystemView&) {
+  if (hi < lo) return 0;
+  const auto first = std::lower_bound(slots_.begin(), slots_.end(), lo);
+  const auto last = std::upper_bound(slots_.begin(), slots_.end(), hi);
+  const auto n = static_cast<std::uint64_t>(last - first);
+  used_ += n;
+  return n;
+}
+
+// ------------------------------------------------------------------ random
+
+RandomJammer::RandomJammer(double rate, std::uint64_t budget, Rng rng)
+    : rate_(rate), budget_(budget), rng_(rng) {
+  if (rate < 0.0 || rate > 1.0) throw std::invalid_argument("RandomJammer: rate in [0,1]");
+}
+
+std::uint64_t RandomJammer::remaining_budget() const noexcept {
+  if (budget_ == 0) return ~0ULL;  // unlimited
+  return budget_ > used_ ? budget_ - used_ : 0;
+}
+
+bool RandomJammer::jam(Slot, const SystemView&, std::span<const PacketId>) {
+  if (remaining_budget() == 0) return false;
+  const bool hit = rng_.bernoulli(rate_);
+  if (hit) ++used_;
+  return hit;
+}
+
+std::uint64_t RandomJammer::count_quiet_range(Slot lo, Slot hi, const SystemView&) {
+  if (hi < lo || rate_ <= 0.0) return 0;
+  const std::uint64_t len = hi - lo + 1;
+  std::uint64_t n = 0;
+  if (rate_ >= 1.0) {
+    n = len;
+  } else if (static_cast<double>(len) * rate_ < 64.0) {
+    // Small expected count: exact via geometric skips.
+    Slot pos = lo;
+    while (pos <= hi) {
+      const std::uint64_t gap = rng_.geometric_gap(rate_);
+      if (gap > hi - pos + 1) break;
+      ++n;
+      pos += gap;
+    }
+  } else {
+    // Large span: normal approximation to Binomial(len, rate).
+    const double mean = static_cast<double>(len) * rate_;
+    const double sd = std::sqrt(mean * (1.0 - rate_));
+    const double u1 = rng_.next_double_pos();
+    const double u2 = rng_.next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double x = std::clamp(mean + sd * z + 0.5, 0.0, static_cast<double>(len));
+    n = static_cast<std::uint64_t>(x);
+  }
+  n = std::min<std::uint64_t>(n, remaining_budget());
+  used_ += n;
+  return n;
+}
+
+// ------------------------------------------------------------------- burst
+
+BurstJammer::BurstJammer(Slot period, Slot burst) : period_(period), burst_(burst) {
+  if (period_ == 0) throw std::invalid_argument("BurstJammer: period must be positive");
+  burst_ = std::min(burst_, period_);
+}
+
+bool BurstJammer::jam(Slot slot, const SystemView&, std::span<const PacketId>) {
+  const bool hit = in_burst(slot);
+  if (hit) ++used_;
+  return hit;
+}
+
+std::uint64_t BurstJammer::bursts_through(Slot t) const noexcept {
+  // Jammed slots in [0, t]: full periods contribute `burst_` each, plus the
+  // prefix of the current period.
+  const std::uint64_t full = t / period_;
+  const Slot rem = t % period_;
+  return full * burst_ + std::min(rem + 1, burst_);
+}
+
+std::uint64_t BurstJammer::count_quiet_range(Slot lo, Slot hi, const SystemView&) {
+  if (hi < lo) return 0;
+  const std::uint64_t n = bursts_through(hi) - (lo == 0 ? 0 : bursts_through(lo - 1));
+  used_ += n;
+  return n;
+}
+
+// -------------------------------------------------------- contention band
+
+ContentionBandJammer::ContentionBandJammer(double lo, double hi, std::uint64_t budget)
+    : lo_(lo), hi_(hi), budget_(budget) {
+  if (!(lo >= 0.0) || hi < lo) throw std::invalid_argument("ContentionBandJammer: bad band");
+}
+
+bool ContentionBandJammer::jam(Slot, const SystemView& view, std::span<const PacketId>) {
+  if (budget_ != 0 && used_ >= budget_) return false;
+  const bool hit = view.n_active > 0 && view.contention >= lo_ && view.contention <= hi_;
+  if (hit) ++used_;
+  return hit;
+}
+
+std::uint64_t ContentionBandJammer::count_quiet_range(Slot lo, Slot hi, const SystemView& view) {
+  if (hi < lo) return 0;
+  const bool in_band = view.n_active > 0 && view.contention >= lo_ && view.contention <= hi_;
+  if (!in_band) return 0;
+  std::uint64_t n = hi - lo + 1;
+  if (budget_ != 0) n = std::min<std::uint64_t>(n, budget_ > used_ ? budget_ - used_ : 0);
+  used_ += n;
+  return n;
+}
+
+// -------------------------------------------------------- reactive victim
+
+ReactiveVictimJammer::ReactiveVictimJammer(PacketId victim, std::uint64_t budget)
+    : victim_(victim), budget_(budget) {}
+
+bool ReactiveVictimJammer::jam(Slot, const SystemView&, std::span<const PacketId> senders) {
+  if (budget_ != 0 && used_ >= budget_) return false;
+  for (PacketId id : senders) {
+    if (id == victim_) {
+      ++used_;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------- reactive blanket
+
+ReactiveBlanketJammer::ReactiveBlanketJammer(std::uint64_t budget) : budget_(budget) {}
+
+bool ReactiveBlanketJammer::jam(Slot, const SystemView&, std::span<const PacketId> senders) {
+  if (senders.empty()) return false;
+  if (budget_ != 0 && used_ >= budget_) return false;
+  ++used_;
+  return true;
+}
+
+}  // namespace lowsense

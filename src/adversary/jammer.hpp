@@ -1,0 +1,169 @@
+// Jamming adversaries (§1.1, §1.3).
+//
+// A jammed slot is full and noisy: listeners hear noise, senders collide.
+// The interface supports the paper's two adversary strengths:
+//
+//  * adaptive — decides from the system state through the end of slot t-1
+//    (SystemView); it does NOT see the current slot's coin flips.
+//  * reactive — additionally sees which packets chose to SEND in slot t
+//    itself (but never who listens), and may jam in response. This is the
+//    adversary of Theorem 1.9 and of the classic attack that drives binary
+//    exponential backoff to O(1/T) throughput with Θ(ln T) jams.
+//
+// For the event-driven engine, `count_quiet_range` accounts jams over
+// maximal spans of slots in which no packet accesses the channel (state,
+// and hence SystemView, is constant across such spans).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace lowsense {
+
+/// The adversary-visible system state as of the end of the previous slot.
+struct SystemView {
+  std::uint64_t n_active = 0;   ///< packets currently in the system
+  double contention = 0.0;      ///< C(t) = Σ_u send_prob_u
+  std::uint64_t arrivals = 0;   ///< N_t so far
+  std::uint64_t successes = 0;  ///< T_t so far
+};
+
+class Jammer {
+ public:
+  virtual ~Jammer() = default;
+
+  /// Decide whether to jam `slot`. `senders` lists the packets transmitting
+  /// in this slot — reactive jammers may use it; adaptive jammers must
+  /// ignore it (enforced by convention + tests, mirroring the model).
+  virtual bool jam(Slot slot, const SystemView& view, std::span<const PacketId> senders) = 0;
+
+  /// Number of jammed slots in [lo, hi] (inclusive) given that no packet
+  /// accesses the channel anywhere in the range and the state is `view`
+  /// throughout. Must be consistent with `jam` in distribution.
+  virtual std::uint64_t count_quiet_range(Slot lo, Slot hi, const SystemView& view) = 0;
+
+  /// Total jams emitted so far (for budget accounting and metrics).
+  virtual std::uint64_t jams_used() const noexcept = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Never jams.
+class NoJammer final : public Jammer {
+ public:
+  bool jam(Slot, const SystemView&, std::span<const PacketId>) override { return false; }
+  std::uint64_t count_quiet_range(Slot, Slot, const SystemView&) override { return 0; }
+  std::uint64_t jams_used() const noexcept override { return 0; }
+  std::string name() const override { return "none"; }
+};
+
+/// Jams an explicit sorted list of slots (deterministic; used by the
+/// engine-equivalence tests because traces must match exactly).
+class ScheduleJammer final : public Jammer {
+ public:
+  explicit ScheduleJammer(std::vector<Slot> slots);
+  bool jam(Slot slot, const SystemView&, std::span<const PacketId>) override;
+  std::uint64_t count_quiet_range(Slot lo, Slot hi, const SystemView&) override;
+  std::uint64_t jams_used() const noexcept override { return used_; }
+  std::string name() const override { return "schedule"; }
+
+ private:
+  std::vector<Slot> slots_;
+  std::uint64_t used_ = 0;
+};
+
+/// Jams each slot independently with probability `rate`, up to `budget`
+/// total jams (budget 0 = unlimited).
+class RandomJammer final : public Jammer {
+ public:
+  RandomJammer(double rate, std::uint64_t budget, Rng rng);
+  bool jam(Slot, const SystemView&, std::span<const PacketId>) override;
+  std::uint64_t count_quiet_range(Slot lo, Slot hi, const SystemView&) override;
+  std::uint64_t jams_used() const noexcept override { return used_; }
+  std::string name() const override { return "random"; }
+
+ private:
+  std::uint64_t remaining_budget() const noexcept;
+
+  double rate_;
+  std::uint64_t budget_;
+  Rng rng_;
+  std::uint64_t used_ = 0;
+};
+
+/// Periodic burst jamming: every `period` slots, jams the first `burst`
+/// slots of the period (deterministic).
+class BurstJammer final : public Jammer {
+ public:
+  BurstJammer(Slot period, Slot burst);
+  bool jam(Slot slot, const SystemView&, std::span<const PacketId>) override;
+  std::uint64_t count_quiet_range(Slot lo, Slot hi, const SystemView&) override;
+  std::uint64_t jams_used() const noexcept override { return used_; }
+  std::string name() const override { return "burst"; }
+
+ private:
+  bool in_burst(Slot slot) const noexcept { return slot % period_ < burst_; }
+  std::uint64_t bursts_through(Slot t) const noexcept;  // jammed slots in [0, t]
+
+  Slot period_;
+  Slot burst_;
+  std::uint64_t used_ = 0;
+};
+
+/// Adaptive adversary that jams whenever contention sits in the "good"
+/// band [lo, hi] where successes are likely — the most damaging place to
+/// spend noise per the potential analysis (§4.2) — subject to a budget.
+class ContentionBandJammer final : public Jammer {
+ public:
+  ContentionBandJammer(double lo, double hi, std::uint64_t budget);
+  bool jam(Slot, const SystemView& view, std::span<const PacketId>) override;
+  std::uint64_t count_quiet_range(Slot lo, Slot hi, const SystemView& view) override;
+  std::uint64_t jams_used() const noexcept override { return used_; }
+  std::string name() const override { return "contention-band"; }
+
+ private:
+  double lo_, hi_;
+  std::uint64_t budget_;
+  std::uint64_t used_ = 0;
+};
+
+/// Reactive adversary targeting one victim packet: jams exactly the slots
+/// in which the victim transmits, up to a budget (§1.3). Against BEB this
+/// inflates the victim's window exponentially with only Θ(ln T) jams.
+class ReactiveVictimJammer final : public Jammer {
+ public:
+  ReactiveVictimJammer(PacketId victim, std::uint64_t budget);
+  bool jam(Slot, const SystemView&, std::span<const PacketId> senders) override;
+  std::uint64_t count_quiet_range(Slot, Slot, const SystemView&) override { return 0; }
+  std::uint64_t jams_used() const noexcept override { return used_; }
+  std::string name() const override { return "reactive-victim"; }
+
+ private:
+  PacketId victim_;
+  std::uint64_t budget_;
+  std::uint64_t used_ = 0;
+};
+
+/// Reactive adversary that jams ANY slot containing at least one sender,
+/// up to a budget — the strongest per-jam disruption allowed by the model
+/// (it can never waste a jam on an already-quiet slot).
+class ReactiveBlanketJammer final : public Jammer {
+ public:
+  explicit ReactiveBlanketJammer(std::uint64_t budget);
+  bool jam(Slot, const SystemView&, std::span<const PacketId> senders) override;
+  std::uint64_t count_quiet_range(Slot, Slot, const SystemView&) override { return 0; }
+  std::uint64_t jams_used() const noexcept override { return used_; }
+  std::string name() const override { return "reactive-blanket"; }
+
+ private:
+  std::uint64_t budget_;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace lowsense

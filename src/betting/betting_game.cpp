@@ -1,0 +1,67 @@
+#include "betting/betting_game.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace lowsense {
+
+BettingPolicy BettingPolicy::minimum() {
+  return {"minimum", [](double, double) { return 0.0; }};  // 0 => clamped to s_min
+}
+
+BettingPolicy BettingPolicy::fixed(double s) {
+  return {"fixed", [s](double, double) { return s; }};
+}
+
+BettingPolicy BettingPolicy::proportional() {
+  return {"proportional", [](double wealth, double) { return wealth; }};
+}
+
+BettingPolicy BettingPolicy::random(std::uint64_t salt) {
+  // Log-uniform in [1, 2^12]; stateful rng captured by value per policy.
+  auto rng = std::make_shared<Rng>(Rng::stream(salt, 0xbe77));
+  return {"random", [rng](double, double) { return std::exp2(12.0 * rng->next_double()); }};
+}
+
+namespace {
+
+/// Bonus dollars: Y = k·s² where P(K >= k) ~ 2^(-ln² k). Inverse
+/// transform: draw u ~ U(0,1], set ln² k = -log2(u), i.e.
+/// k = exp(sqrt(ln(1/u)/ln 2)).
+double draw_bonus(double s, Rng& rng) {
+  const double u = rng.next_double_pos();
+  const double k = std::exp(std::sqrt(std::max(-std::log2(u), 0.0)));
+  return k * s * s;
+}
+
+}  // namespace
+
+BettingOutcome play_betting_game(const BettingParams& params, const BettingPolicy& policy,
+                                 double passive_income, Rng rng) {
+  BettingOutcome out;
+  double wealth = passive_income;  // all passive income taken up front
+  out.max_wealth = wealth;
+  const double volume_target = params.volume_factor * passive_income;
+
+  while (wealth > 0.0 && out.volume_played < volume_target) {
+    double s = policy.bet_size(wealth, volume_target - out.volume_played);
+    s = std::max(s, params.s_min);
+    const double p_win = std::pow(s, -params.beta);
+    ++out.bets;
+    out.volume_played += s;
+    if (rng.bernoulli(p_win)) {
+      ++out.wins;
+      wealth += params.win_scale * s * s + draw_bonus(s, rng);
+    } else {
+      wealth -= params.loss_scale * s;
+    }
+    out.max_wealth = std::max(out.max_wealth, wealth);
+  }
+
+  out.broke = wealth <= 0.0;
+  out.final_wealth = wealth;
+  return out;
+}
+
+}  // namespace lowsense

@@ -1,0 +1,63 @@
+// Monte-Carlo implementation of the §5.5 betting game, the random-walk
+// abstraction behind the throughput proof.
+//
+// The bettor (= adversary) starts with wealth equal to its passive income
+// P (arrivals + jams, taken up front, matching the "generously allow the
+// adversary to take that passive income at the very beginning" step of
+// Lemma 5.20). Each bet of size s >= s_min:
+//   * LOSES with probability 1 - s^(-beta): wealth -= loss_scale * s
+//     (a successful analysis interval: potential drops by Θ(τ));
+//   * WINS with probability s^(-beta): wealth += win_scale * s² + Y,
+//     where the bonus Y >= k·s² with probability ~ 2^(-ln² k)
+//     (the Theorem 5.19 tail).
+// The game ends when the bettor goes broke (wealth <= 0) or has resolved
+// bets totalling volume_factor * P (the bettor "survives" — which
+// Lemma 5.20 says happens with probability vanishing in P).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/rng.hpp"
+
+namespace lowsense {
+
+struct BettingParams {
+  double s_min = 8.0;  ///< minimum bet size (= minimum interval, w_min-driven)
+  /// Win probability exponent: P(win) = s^-beta. The paper's 1/poly(s) has
+  /// a degree of OUR choosing (the w.h.p. degree); it must satisfy beta > 1
+  /// or a size-s win (Θ(s²) dollars at probability s^-beta) has positive
+  /// expectation and the game no longer favors the house. Default 2.
+  double beta = 2.0;
+  double loss_scale = 1.0;     ///< dollars lost per unit bet size on a loss
+  double win_scale = 1.0;      ///< dollars won per (bet size)² on a win
+  double volume_factor = 8.0;  ///< game length: resolve bets totalling this * P
+};
+
+/// Bet-sizing policies for the adversary ("the bettor can choose arbitrary
+/// bet sizes"). The policy sees its current wealth and remaining volume.
+struct BettingPolicy {
+  std::string name;
+  std::function<double(double wealth, double remaining_volume)> bet_size;
+
+  static BettingPolicy minimum();           ///< always bet s_min (many small bets)
+  static BettingPolicy fixed(double s);     ///< constant bet size
+  static BettingPolicy proportional();      ///< bet ~ current wealth (go big)
+  static BettingPolicy random(std::uint64_t salt);  ///< log-uniform random sizes
+};
+
+struct BettingOutcome {
+  bool broke = false;          ///< bettor hit wealth <= 0 (the w.h.p. event)
+  double volume_played = 0.0;  ///< total bet size resolved
+  double max_wealth = 0.0;     ///< peak wealth over the game
+  double final_wealth = 0.0;
+  std::uint64_t bets = 0;
+  std::uint64_t wins = 0;
+};
+
+/// Plays one game with passive income P.
+BettingOutcome play_betting_game(const BettingParams& params, const BettingPolicy& policy,
+                                 double passive_income, Rng rng);
+
+}  // namespace lowsense

@@ -1,0 +1,19 @@
+#include "core/checkpoints.hpp"
+
+namespace lowsense {
+
+std::vector<std::uint64_t> log_checkpoints(std::uint64_t horizon, double growth) {
+  std::vector<std::uint64_t> out;
+  if (horizon == 0) return out;
+  if (growth < 1.01) growth = 1.01;
+  std::uint64_t t = 1;
+  while (t < horizon) {
+    out.push_back(t);
+    const auto stepped = static_cast<std::uint64_t>(static_cast<double>(t) * growth);
+    t = stepped > t ? stepped : t + 1;
+  }
+  out.push_back(horizon);
+  return out;
+}
+
+}  // namespace lowsense

@@ -1,0 +1,38 @@
+// Log-spaced checkpoint schedules. Long-horizon experiments record time
+// series at geometrically spaced slots so that an execution of 10^8 slots
+// yields a few hundred samples covering every timescale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lowsense {
+
+/// Returns a strictly increasing slot schedule: {1, ...} growing by factor
+/// `growth` (>= 1.01), capped at `horizon`, always including `horizon`.
+std::vector<std::uint64_t> log_checkpoints(std::uint64_t horizon, double growth = 1.25);
+
+/// Streaming form: call `due(t)` with nondecreasing t; returns true when a
+/// checkpoint should fire at t and internally advances to the next one.
+class CheckpointClock {
+ public:
+  explicit CheckpointClock(double growth = 1.25) : growth_(growth < 1.01 ? 1.01 : growth) {}
+
+  bool due(std::uint64_t t) noexcept {
+    if (t < next_) return false;
+    // Advance next_ past t geometrically.
+    while (next_ <= t) {
+      const auto stepped = static_cast<std::uint64_t>(static_cast<double>(next_) * growth_);
+      next_ = stepped > next_ ? stepped : next_ + 1;
+    }
+    return true;
+  }
+
+  std::uint64_t next() const noexcept { return next_; }
+
+ private:
+  double growth_;
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace lowsense

@@ -1,0 +1,74 @@
+#include "core/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lowsense {
+
+LogHistogram::LogHistogram(double base) : base_(base < 1.0001 ? 1.0001 : base) {
+  log_base_ = std::log(base_);
+}
+
+std::size_t LogHistogram::bucket_index(double value) const {
+  if (value < 1.0) return 0;
+  const double k = std::log(value) / log_base_;
+  return static_cast<std::size_t>(k) ;
+}
+
+void LogHistogram::add(double value, std::uint64_t weight) {
+  if (weight == 0) return;
+  value = std::max(value, 0.0);
+  if (total_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  const std::size_t idx = bucket_index(value);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::bucket_lo(std::size_t i) const {
+  return i == 0 ? 0.0 : std::pow(base_, static_cast<double>(i));
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Geometric midpoint of the bucket as the representative value.
+      const double lo = std::max(bucket_lo(i), min_);
+      const double hi = std::min(std::pow(base_, static_cast<double>(i + 1)), max_);
+      return std::sqrt(std::max(lo, 1e-12) * std::max(hi, 1e-12));
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string LogHistogram::render(std::size_t width) const {
+  std::ostringstream out;
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo = bucket_lo(i);
+    const double hi = std::pow(base_, static_cast<double>(i + 1));
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) * static_cast<double>(width));
+    out << "[" << lo << ", " << hi << ")  " << std::string(std::max<std::size_t>(bar, 1), '#')
+        << "  " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lowsense

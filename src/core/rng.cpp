@@ -1,0 +1,51 @@
+#include "core/rng.hpp"
+
+#include <limits>
+
+namespace lowsense {
+
+std::uint64_t Rng::next_below(std::uint64_t n) noexcept {
+  if (n <= 1) return 0;
+  // Rejection sampling on the top of the range to remove modulo bias.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() - std::numeric_limits<std::uint64_t>::max() % n;
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % n;
+}
+
+std::uint64_t Rng::geometric_gap(double p) noexcept {
+  if (p >= 1.0) return 1;
+  if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  // Inverse transform: gap = ceil(ln U / ln(1-p)) for U in (0,1].
+  const double u = next_double_pos();
+  const double g = std::ceil(std::log(u) / std::log1p(-p));
+  if (g >= 9.0e18) return std::numeric_limits<std::uint64_t>::max();
+  return g < 1.0 ? 1 : static_cast<std::uint64_t>(g);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 32.0) {
+    // Knuth's product method.
+    const double l = std::exp(-mean);
+    std::uint64_t k = 0;
+    double prod = next_double_pos();
+    while (prod > l) {
+      ++k;
+      prod *= next_double_pos();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // high-rate arrival processes used in long-horizon experiments.
+  const double u1 = next_double_pos();
+  const double u2 = next_double();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double x = mean + std::sqrt(mean) * z + 0.5;
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+}  // namespace lowsense

@@ -1,0 +1,135 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lowsense {
+
+void StreamingStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summary::of(std::vector<double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  StreamingStats acc;
+  for (double x : xs) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = xs.front();
+  s.max = xs.back();
+  s.p25 = quantile_sorted(xs, 0.25);
+  s.median = quantile_sorted(xs, 0.50);
+  s.p75 = quantile_sorted(xs, 0.75);
+  s.p99 = quantile_sorted(xs, 0.99);
+  return s;
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFit f;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double nn = static_cast<double>(n);
+  const double denom = nn * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (nn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / nn;
+  const double ss_tot = syy - sy * sy / nn;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = y[i] - (f.intercept + f.slope * x[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+namespace {
+
+PolylogFit fit_loglog(const std::vector<double>& lx, const std::vector<double>& y) {
+  PolylogFit p;
+  std::vector<double> ly;
+  std::vector<double> lxx;
+  ly.reserve(y.size());
+  lxx.reserve(y.size());
+  for (std::size_t i = 0; i < std::min(lx.size(), y.size()); ++i) {
+    if (lx[i] <= 0.0 || y[i] <= 0.0) continue;
+    lxx.push_back(std::log(lx[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  const LinearFit f = fit_linear(lxx, ly);
+  p.coeff = std::exp(f.intercept);
+  p.exponent = f.slope;
+  p.r2 = f.r2;
+  return p;
+}
+
+}  // namespace
+
+PolylogFit fit_polylog(const std::vector<double>& x, const std::vector<double>& y) {
+  std::vector<double> lx;
+  lx.reserve(x.size());
+  for (double v : x) lx.push_back(v > 1.0 ? std::log(v) : 0.0);
+  return fit_loglog(lx, y);
+}
+
+PolylogFit fit_power(const std::vector<double>& x, const std::vector<double>& y) {
+  return fit_loglog(x, y);
+}
+
+}  // namespace lowsense

@@ -1,0 +1,15 @@
+// Shared vocabulary types for the whole library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lowsense {
+
+using Slot = std::uint64_t;      ///< discrete, synchronized time slot index
+using PacketId = std::uint64_t;  ///< packet injection order (0-based)
+
+/// Sentinel "no such slot" (e.g. no further arrivals, never accesses).
+inline constexpr Slot kNoSlot = std::numeric_limits<Slot>::max();
+
+}  // namespace lowsense

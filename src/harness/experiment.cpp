@@ -1,0 +1,109 @@
+#include "harness/experiment.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lowsense {
+
+RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
+                       const std::vector<Observer*>& observers) {
+  if (!scenario.protocol || !scenario.arrivals) {
+    throw std::invalid_argument("Scenario: protocol and arrivals are required");
+  }
+  auto factory = scenario.protocol();
+  auto arrivals = scenario.arrivals(seed);
+  std::unique_ptr<Jammer> jammer =
+      scenario.jammer ? scenario.jammer(seed) : std::make_unique<NoJammer>();
+
+  RunConfig config = scenario.config;
+  config.seed = seed;
+
+  if (scenario.engine == EngineKind::kSlot) {
+    SlotEngine engine(*factory, *arrivals, *jammer, config);
+    for (auto* obs : observers) engine.add_observer(obs);
+    return engine.run();
+  }
+  EventEngine engine(*factory, *arrivals, *jammer, config);
+  for (auto* obs : observers) engine.add_observer(obs);
+  return engine.run();
+}
+
+Summary Replicates::summarize(const std::function<double(const RunResult&)>& metric) const {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const auto& r : runs) xs.push_back(metric(r));
+  return Summary::of(std::move(xs));
+}
+
+Summary Replicates::throughput() const {
+  return summarize([](const RunResult& r) { return r.throughput(); });
+}
+
+Summary Replicates::implicit_throughput() const {
+  return summarize([](const RunResult& r) { return r.implicit_throughput(); });
+}
+
+Summary Replicates::mean_accesses() const {
+  return summarize([](const RunResult& r) { return r.mean_accesses(); });
+}
+
+Summary Replicates::max_accesses() const {
+  return summarize([](const RunResult& r) { return static_cast<double>(r.max_accesses); });
+}
+
+Summary Replicates::peak_backlog() const {
+  return summarize([](const RunResult& r) { return static_cast<double>(r.peak_backlog); });
+}
+
+Replicates replicate(const Scenario& scenario, int reps, std::uint64_t base_seed) {
+  Replicates out;
+  out.runs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    out.runs.push_back(run_scenario(scenario, base_seed + static_cast<std::uint64_t>(i)));
+  }
+  return out;
+}
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_.emplace_back(arg, "");
+    } else {
+      kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+}
+
+std::uint64_t Args::u64(const std::string& key, std::uint64_t fallback) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key && !v.empty()) return std::strtoull(v.c_str(), nullptr, 10);
+  }
+  return fallback;
+}
+
+double Args::f64(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key && !v.empty()) return std::strtod(v.c_str(), nullptr);
+  }
+  return fallback;
+}
+
+std::string Args::str(const std::string& key, const std::string& fallback) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+bool Args::flag(const std::string& key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return v.empty() || v == "1" || v == "true";
+  }
+  return false;
+}
+
+}  // namespace lowsense

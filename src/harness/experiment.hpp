@@ -1,0 +1,75 @@
+// Experiment harness: declarative scenario construction, seeded
+// replication, and aggregation. Every bench and example builds its runs
+// through this layer so that workloads are described once and reproduced
+// identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "core/stats.hpp"
+#include "protocols/protocol.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/run.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace lowsense {
+
+/// Which engine executes the scenario.
+enum class EngineKind {
+  kEvent,  ///< geometric gap-skipping (default; exact for our protocols)
+  kSlot,   ///< slot-by-slot reference engine
+};
+
+/// A fully specified, repeatable scenario. The factories take a seed so
+/// that stochastic arrival processes / jammers get fresh, deterministic
+/// randomness per replicate.
+struct Scenario {
+  std::string name;
+  std::function<std::unique_ptr<ProtocolFactory>()> protocol;
+  std::function<std::unique_ptr<ArrivalProcess>(std::uint64_t seed)> arrivals;
+  std::function<std::unique_ptr<Jammer>(std::uint64_t seed)> jammer;
+  RunConfig config;
+  EngineKind engine = EngineKind::kEvent;
+};
+
+/// Runs the scenario once with the given seed; optional observers are
+/// attached before the run starts.
+RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
+                       const std::vector<Observer*>& observers = {});
+
+/// Replicated results plus per-metric aggregation.
+struct Replicates {
+  std::vector<RunResult> runs;
+
+  Summary summarize(const std::function<double(const RunResult&)>& metric) const;
+  Summary throughput() const;
+  Summary implicit_throughput() const;
+  Summary mean_accesses() const;
+  Summary max_accesses() const;
+  Summary peak_backlog() const;
+};
+
+/// Runs `reps` replicates with seeds base_seed, base_seed+1, ...
+Replicates replicate(const Scenario& scenario, int reps, std::uint64_t base_seed = 1);
+
+/// Minimal --key=value argument parser shared by benches and examples.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback) const;
+  double f64(const std::string& key, double fallback) const;
+  std::string str(const std::string& key, const std::string& fallback) const;
+  bool flag(const std::string& key) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+}  // namespace lowsense

@@ -1,0 +1,27 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+
+namespace lowsense {
+
+void report_header(const std::string& experiment_id, const std::string& paper_anchor,
+                   const std::string& claim) {
+  std::printf("\n=== %s · %s ===\n", experiment_id.c_str(), paper_anchor.c_str());
+  std::printf("claim: %s\n\n", claim.c_str());
+}
+
+void report_table(const Table& table, const std::string& note) {
+  std::printf("%s", table.render().c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+}
+
+void report_check(const std::string& what, bool pass, const std::string& detail) {
+  std::printf("[%s] %s%s%s\n", pass ? "PASS" : "FAIL", what.c_str(),
+              detail.empty() ? "" : " — ", detail.c_str());
+}
+
+void report_footer(const std::string& experiment_id) {
+  std::printf("=== end %s ===\n", experiment_id.c_str());
+}
+
+}  // namespace lowsense

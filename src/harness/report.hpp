@@ -1,0 +1,26 @@
+// Uniform experiment reporting. Each bench announces itself, states the
+// paper claim it reproduces, prints its measurement table, and closes with
+// an explicit PASS/FAIL shape verdict — so the bench output doubles as the
+// data source for EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+
+#include "core/table.hpp"
+
+namespace lowsense {
+
+/// "=== T1 · Cor 1.4 — batch throughput ===" style banner + claim text.
+void report_header(const std::string& experiment_id, const std::string& paper_anchor,
+                   const std::string& claim);
+
+/// Prints the table followed by an optional note.
+void report_table(const Table& table, const std::string& note = "");
+
+/// Prints a single "shape check" verdict line.
+void report_check(const std::string& what, bool pass, const std::string& detail = "");
+
+/// Final line of a bench.
+void report_footer(const std::string& experiment_id);
+
+}  // namespace lowsense

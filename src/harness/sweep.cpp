@@ -1,0 +1,43 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lowsense {
+
+std::vector<std::uint64_t> pow2_sweep(unsigned lo_exp, unsigned hi_exp) {
+  std::vector<std::uint64_t> out;
+  for (unsigned e = lo_exp; e <= hi_exp && e < 63; ++e) out.push_back(1ULL << e);
+  return out;
+}
+
+std::vector<std::uint64_t> geom_sweep(std::uint64_t lo, std::uint64_t hi, int points) {
+  std::vector<std::uint64_t> out;
+  if (points <= 1 || lo >= hi) {
+    out.push_back(lo);
+    if (hi > lo) out.push_back(hi);
+    return out;
+  }
+  const double ratio = std::log(static_cast<double>(hi) / static_cast<double>(lo)) /
+                       static_cast<double>(points - 1);
+  for (int i = 0; i < points; ++i) {
+    out.push_back(static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(lo) * std::exp(ratio * i))));
+  }
+  out.back() = hi;
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<double> geom_sweep_f(double lo, double hi, int points) {
+  std::vector<double> out;
+  if (points <= 1 || !(hi > lo)) {
+    out.push_back(lo);
+    return out;
+  }
+  const double ratio = std::log(hi / lo) / static_cast<double>(points - 1);
+  for (int i = 0; i < points; ++i) out.push_back(lo * std::exp(ratio * i));
+  return out;
+}
+
+}  // namespace lowsense

@@ -1,0 +1,18 @@
+// Parameter-sweep helpers shared by the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lowsense {
+
+/// {2^lo, 2^(lo+1), ..., 2^hi}.
+std::vector<std::uint64_t> pow2_sweep(unsigned lo_exp, unsigned hi_exp);
+
+/// `points` geometrically spaced values in [lo, hi] (inclusive, deduped).
+std::vector<std::uint64_t> geom_sweep(std::uint64_t lo, std::uint64_t hi, int points);
+
+/// `points` geometrically spaced doubles in [lo, hi].
+std::vector<double> geom_sweep_f(double lo, double hi, int points);
+
+}  // namespace lowsense

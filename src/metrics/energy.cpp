@@ -1,0 +1,25 @@
+#include "metrics/energy.hpp"
+
+#include <cmath>
+
+namespace lowsense {
+
+EnergyReport EnergyReport::of(const RunResult& r) {
+  EnergyReport e;
+  e.mean_accesses = r.access_stats.mean();
+  e.p99_accesses = r.access_hist.quantile(0.99);
+  e.max_accesses = r.max_accesses;
+  e.mean_sends = r.send_stats.mean();
+  return e;
+}
+
+double ln4_envelope(double n_plus_j, double a, double b) {
+  const double l = std::log(std::max(n_plus_j, 2.0));
+  return a * l * l * l * l + b;
+}
+
+PolylogFit fit_access_growth(const std::vector<double>& n, const std::vector<double>& accesses) {
+  return fit_polylog(n, accesses);
+}
+
+}  // namespace lowsense

@@ -1,0 +1,36 @@
+// Energy accounting: per-packet channel-access summaries and the polylog
+// envelope checks used to validate Theorems 1.6–1.9 empirically.
+//
+// Energy model (§1): every channel access — send or listen — costs one
+// unit. A sending packet need not separately listen (it learns the slot's
+// state from whether it departed), so accesses = slots in which the packet
+// listened and/or sent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/run.hpp"
+
+namespace lowsense {
+
+struct EnergyReport {
+  double mean_accesses = 0.0;
+  double p99_accesses = 0.0;
+  std::uint64_t max_accesses = 0;
+  double mean_sends = 0.0;
+
+  static EnergyReport of(const RunResult& r);
+};
+
+/// The Theorem 5.25 envelope: a * ln^4(n + j) + b. Used by tests/benches
+/// as a concrete instantiation of the O(ln^4(N+J)) bound with explicit
+/// constants; `a` and `b` are the reproduction's fitted constants.
+double ln4_envelope(double n_plus_j, double a, double b);
+
+/// Fits max-access measurements against ln^k growth and returns the
+/// estimated exponent k (see PolylogFit); a polylog claim "passes" when
+/// the data is well-described (high R²) with a modest exponent.
+PolylogFit fit_access_growth(const std::vector<double>& n, const std::vector<double>& accesses);
+
+}  // namespace lowsense

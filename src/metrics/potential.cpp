@@ -1,0 +1,111 @@
+#include "metrics/potential.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lowsense {
+
+namespace {
+
+double safe_ln(double w) { return std::max(std::log(std::max(w, 2.0)), 1.0); }
+
+}  // namespace
+
+PotentialTracker::PotentialTracker(const PotentialParams& params) : params_(params) {}
+
+double PotentialTracker::w_max() const noexcept {
+  return windows_.empty() ? 0.0 : windows_.rbegin()->first;
+}
+
+double PotentialTracker::term_l() const noexcept {
+  const double w = w_max();
+  if (w <= 0.0) return 0.0;
+  const double l = safe_ln(w);
+  return w / (l * l);
+}
+
+double PotentialTracker::phi() const noexcept {
+  if (n_ == 0) return 0.0;
+  return params_.alpha1 * static_cast<double>(n_) + params_.alpha2 * h_ +
+         params_.alpha3 * term_l();
+}
+
+void PotentialTracker::on_arrival(Slot slot, PacketId, const Protocol& proto) {
+  ++n_;
+  const double w = proto.window();
+  h_ += 1.0 / safe_ln(w);
+  ++windows_[w];
+  if (!interval_open_) open_interval(slot);
+}
+
+void PotentialTracker::on_departure(Slot, PacketId, Slot, std::uint64_t, std::uint64_t,
+                                    double final_window) {
+  --n_;
+  h_ -= 1.0 / safe_ln(final_window);
+  auto it = windows_.find(final_window);
+  if (it != windows_.end()) {
+    if (--it->second == 0) windows_.erase(it);
+  }
+}
+
+void PotentialTracker::on_window_change(Slot, PacketId, double old_w, double new_w) {
+  h_ += 1.0 / safe_ln(new_w) - 1.0 / safe_ln(old_w);
+  auto it = windows_.find(old_w);
+  if (it != windows_.end()) {
+    if (--it->second == 0) windows_.erase(it);
+  }
+  ++windows_[new_w];
+}
+
+void PotentialTracker::open_interval(Slot now) {
+  interval_open_ = true;
+  current_ = IntervalRecord{};
+  current_.start = now;
+  // τ = (1/c_int)·max{ L(t), √N(t) }, clamped to a small minimum so that
+  // degenerate early states still produce meaningful intervals (§4.3).
+  const double tau =
+      std::max({term_l(), std::sqrt(static_cast<double>(n_)), 8.0}) / std::max(params_.c_int, 1e-9);
+  current_.tau = tau;
+  current_.end = now + static_cast<Slot>(tau);
+  current_.phi_start = phi();
+  arrivals_at_open_ = last_arrivals_;
+  jams_at_open_ = last_jams_;
+}
+
+void PotentialTracker::close_interval(Slot now) {
+  if (!interval_open_) return;
+  interval_open_ = false;
+  current_.end = now;
+  current_.phi_end = phi();
+  current_.arrivals = last_arrivals_ - arrivals_at_open_;
+  current_.jams = last_jams_ - jams_at_open_;
+  intervals_.push_back(current_);
+}
+
+void PotentialTracker::note_progress(const Counters& c, std::uint64_t, std::uint64_t) {
+  last_arrivals_ = c.arrivals;
+  last_jams_ = c.jammed_active_slots;
+  max_phi_ = std::max(max_phi_, phi());
+  if (interval_open_ && n_ == 0) {
+    close_interval(c.slot);  // system drained: interval ends here
+    return;
+  }
+  if (interval_open_ && c.slot >= current_.end) {
+    close_interval(c.slot);
+    if (n_ > 0) open_interval(c.slot);
+  }
+}
+
+void PotentialTracker::on_slot(const SlotInfo&, const Counters& c) { note_progress(c, 0, 0); }
+
+void PotentialTracker::on_quiet_span(Slot, Slot, std::uint64_t, const Counters& c) {
+  note_progress(c, 0, 0);
+}
+
+void PotentialTracker::on_run_end(const Counters& c) {
+  last_arrivals_ = c.arrivals;
+  last_jams_ = c.jammed_active_slots;
+  close_interval(c.slot);
+}
+
+}  // namespace lowsense

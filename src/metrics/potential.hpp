@@ -1,0 +1,89 @@
+// Online tracker of the paper's potential function (§4.2):
+//
+//   Φ(t) = α₁·N(t) + α₂·H(t) + α₃·L(t)
+//   N(t) = number of packets in the system
+//   H(t) = Σ_u 1/ln(w_u(t))
+//   L(t) = w_max(t)/ln²(w_max(t))       (0 when the system is empty)
+//
+// Maintained incrementally from observer callbacks (window changes,
+// arrivals, departures), so tracking costs O(log n) per event. The tracker
+// also measures Φ across the paper's analysis intervals of length
+// τ = (1/c_int)·max{ L(t), √N(t) } (§4.3), producing the per-interval
+// decrease data that bench T7 compares against Theorem 5.18.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace lowsense {
+
+struct PotentialParams {
+  double alpha1 = 4.0;
+  double alpha2 = 2.0;
+  double alpha3 = 1.0;
+  double c_int = 1.0;
+};
+
+/// One analysis interval I = [start, end) with its potential delta.
+struct IntervalRecord {
+  Slot start = 0;
+  Slot end = 0;            ///< exclusive
+  double tau = 0.0;        ///< prescribed interval length
+  double phi_start = 0.0;
+  double phi_end = 0.0;
+  std::uint64_t arrivals = 0;  ///< A: arrivals inside the interval
+  std::uint64_t jams = 0;      ///< J: jammed slots inside the interval
+
+  double delta_phi() const noexcept { return phi_end - phi_start; }
+  /// Theorem 5.18 predicts delta_phi <= Θ(A+J) - Ω(τ); this is the
+  /// per-slot normalized drift the bench reports.
+  double drift_per_slot() const noexcept {
+    return tau > 0 ? delta_phi() / tau : 0.0;
+  }
+};
+
+class PotentialTracker final : public Observer {
+ public:
+  explicit PotentialTracker(const PotentialParams& params = {});
+
+  void on_arrival(Slot slot, PacketId id, const Protocol& proto) override;
+  void on_departure(Slot slot, PacketId id, Slot arrival_slot, std::uint64_t accesses,
+                    std::uint64_t sends, double final_window) override;
+  void on_window_change(Slot slot, PacketId id, double old_w, double new_w) override;
+  void on_slot(const SlotInfo& info, const Counters& c) override;
+  void on_quiet_span(Slot from, Slot to, std::uint64_t jams, const Counters& c) override;
+  void on_run_end(const Counters& c) override;
+
+  double phi() const noexcept;
+  double term_n() const noexcept { return static_cast<double>(n_); }
+  double term_h() const noexcept { return h_; }
+  double term_l() const noexcept;
+  double w_max() const noexcept;
+
+  const std::vector<IntervalRecord>& intervals() const noexcept { return intervals_; }
+  double max_phi_seen() const noexcept { return max_phi_; }
+
+ private:
+  void note_progress(const Counters& c, std::uint64_t new_arrivals, std::uint64_t new_jams);
+  void open_interval(Slot now);
+  void close_interval(Slot now);
+
+  PotentialParams params_;
+  std::uint64_t n_ = 0;
+  double h_ = 0.0;
+  std::map<double, std::uint64_t> windows_;  ///< multiset of active windows
+
+  // Interval bookkeeping.
+  bool interval_open_ = false;
+  IntervalRecord current_;
+  std::uint64_t arrivals_at_open_ = 0;
+  std::uint64_t jams_at_open_ = 0;
+  std::uint64_t last_arrivals_ = 0;
+  std::uint64_t last_jams_ = 0;
+  std::vector<IntervalRecord> intervals_;
+  double max_phi_ = 0.0;
+};
+
+}  // namespace lowsense

@@ -1,0 +1,50 @@
+#include "metrics/recorder.hpp"
+
+#include <algorithm>
+
+namespace lowsense {
+
+void Recorder::sample(const Counters& c) {
+  SeriesPoint p;
+  p.slot = c.slot;
+  p.active_slots = c.active_slots;
+  p.arrivals = c.arrivals;
+  p.successes = c.successes;
+  p.jams = c.jammed_active_slots;
+  p.backlog = c.backlog;
+  p.contention = c.contention;
+  p.implicit_throughput = c.implicit_throughput();
+  p.throughput = c.throughput();
+  series_.push_back(p);
+}
+
+void Recorder::on_slot(const SlotInfo&, const Counters& c) {
+  if (clock_.due(c.active_slots)) sample(c);
+}
+
+void Recorder::on_quiet_span(Slot, Slot, std::uint64_t, const Counters& c) {
+  // Spans can cross many checkpoints; one sample at the span end captures
+  // the counters exactly (they are constant within the span except S_t).
+  if (clock_.due(c.active_slots)) sample(c);
+}
+
+void Recorder::on_run_end(const Counters& c) {
+  if (series_.empty() || series_.back().active_slots != c.active_slots) sample(c);
+}
+
+double Recorder::min_implicit_throughput(std::uint64_t min_active_slots) const {
+  double best = 1e300;
+  for (const auto& p : series_) {
+    if (p.active_slots < min_active_slots) continue;
+    best = std::min(best, p.implicit_throughput);
+  }
+  return best == 1e300 ? 1.0 : best;
+}
+
+std::uint64_t Recorder::max_backlog() const {
+  std::uint64_t m = 0;
+  for (const auto& p : series_) m = std::max(m, p.backlog);
+  return m;
+}
+
+}  // namespace lowsense

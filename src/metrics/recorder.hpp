@@ -1,0 +1,51 @@
+// Time-series recorder: samples run counters at log-spaced checkpoints of
+// the ACTIVE-slot count S_t, which is the denominator of both throughput
+// metrics. A 10^8-slot execution produces a few hundred samples spanning
+// every timescale.
+#pragma once
+
+#include <vector>
+
+#include "core/checkpoints.hpp"
+#include "sim/observer.hpp"
+
+namespace lowsense {
+
+struct SeriesPoint {
+  Slot slot = 0;
+  std::uint64_t active_slots = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t jams = 0;
+  std::uint64_t backlog = 0;
+  double contention = 0.0;
+  double implicit_throughput = 0.0;
+  double throughput = 0.0;
+};
+
+class Recorder final : public Observer {
+ public:
+  explicit Recorder(double growth = 1.3) : clock_(growth) {}
+
+  void on_slot(const SlotInfo& info, const Counters& c) override;
+  void on_quiet_span(Slot from, Slot to, std::uint64_t jams, const Counters& c) override;
+  void on_run_end(const Counters& c) override;
+
+  const std::vector<SeriesPoint>& series() const noexcept { return series_; }
+
+  /// Minimum implicit throughput over all recorded checkpoints at or after
+  /// `min_active_slots` (early slots are excluded because implicit
+  /// throughput is trivially volatile when S_t is tiny).
+  double min_implicit_throughput(std::uint64_t min_active_slots = 64) const;
+
+  /// Maximum backlog over the recorded series.
+  std::uint64_t max_backlog() const;
+
+ private:
+  void sample(const Counters& c);
+
+  CheckpointClock clock_;
+  std::vector<SeriesPoint> series_;
+};
+
+}  // namespace lowsense

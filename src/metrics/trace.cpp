@@ -1,0 +1,80 @@
+#include "metrics/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace lowsense {
+
+void TraceCapture::push(TraceEvent ev) {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    // Drop the oldest half in one go to amortize the erase cost.
+    const std::size_t drop = events_.size() / 2;
+    events_.erase(events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(drop));
+    dropped_ += drop;
+  }
+  events_.push_back(ev);
+}
+
+void TraceCapture::on_slot(const SlotInfo& info, const Counters& c) {
+  TraceEvent ev;
+  ev.slot = info.slot;
+  ev.span_end = info.slot;
+  ev.accessors = info.accessors;
+  ev.senders = info.senders;
+  ev.jammed = info.jammed;
+  ev.success = info.success;
+  ev.jams_in_span = info.jammed ? 1 : 0;
+  ev.backlog = c.backlog;
+  ev.contention = c.contention;
+  push(ev);
+}
+
+void TraceCapture::on_quiet_span(Slot from, Slot to, std::uint64_t jams, const Counters& c) {
+  TraceEvent ev;
+  ev.slot = from;
+  ev.span_end = to;
+  ev.jammed = jams > 0;
+  ev.jams_in_span = jams;
+  ev.backlog = c.backlog;
+  ev.contention = c.contention;
+  push(ev);
+}
+
+void TraceCapture::write_csv(std::ostream& out) const {
+  out << "slot,span_end,accessors,senders,jammed,success,jams,backlog,contention\n";
+  for (const auto& ev : events_) {
+    out << ev.slot << ',' << ev.span_end << ',' << ev.accessors << ',' << ev.senders << ','
+        << (ev.jammed ? 1 : 0) << ',' << (ev.success ? 1 : 0) << ',' << ev.jams_in_span << ','
+        << ev.backlog << ',' << ev.contention << '\n';
+  }
+}
+
+std::string TraceCapture::to_csv() const {
+  std::ostringstream out;
+  write_csv(out);
+  return out.str();
+}
+
+TraceCapture::OutcomeCounts TraceCapture::tally() const {
+  OutcomeCounts t;
+  for (const auto& ev : events_) {
+    if (ev.is_span()) {
+      const std::uint64_t len = ev.span_end - ev.slot + 1;
+      t.jammed += ev.jams_in_span;
+      t.quiet += len - ev.jams_in_span;
+      continue;
+    }
+    if (ev.jammed) {
+      ++t.jammed;
+    } else if (ev.success) {
+      ++t.success;
+    } else if (ev.senders >= 2) {
+      ++t.collision;
+    } else {
+      ++t.empty;
+    }
+  }
+  return t;
+}
+
+}  // namespace lowsense

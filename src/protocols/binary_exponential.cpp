@@ -1,0 +1,24 @@
+#include "protocols/binary_exponential.hpp"
+
+#include <algorithm>
+
+namespace lowsense {
+
+BinaryExponentialBackoff::BinaryExponentialBackoff(const BinaryExponentialParams& params)
+    : params_(params), w_(std::max(params.initial_window, 1.0)) {}
+
+void BinaryExponentialBackoff::on_observation(const Observation& obs) {
+  // BEB only ever observes its own transmissions; a successful sender has
+  // already departed, so the only feedback that reaches us is a collision
+  // (or a jammed slot, which is indistinguishable).
+  if (obs.sent && obs.feedback == Feedback::kNoisy) {
+    w_ *= params_.growth;
+    if (params_.max_window > 0.0) w_ = std::min(w_, params_.max_window);
+  }
+}
+
+std::unique_ptr<Protocol> BinaryExponentialFactory::create() const {
+  return std::make_unique<BinaryExponentialBackoff>(params_);
+}
+
+}  // namespace lowsense

@@ -1,0 +1,9 @@
+// FixedProbability is header-only; this translation unit anchors the
+// factory's vtable so the library has a home for its symbols.
+#include "protocols/fixed_probability.hpp"
+
+namespace lowsense {
+
+static_assert(sizeof(FixedProbability) > 0);
+
+}  // namespace lowsense

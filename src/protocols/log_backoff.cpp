@@ -1,0 +1,21 @@
+#include "protocols/log_backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lowsense {
+
+SlowBackoff::SlowBackoff(const SlowBackoffParams& params)
+    : params_(params), w_(std::max(params.initial_window, 2.0)) {}
+
+void SlowBackoff::on_observation(const Observation& obs) {
+  if (obs.sent && obs.feedback == Feedback::kNoisy) {
+    w_ *= 1.0 + 1.0 / (params_.c * std::max(std::log(w_), 1.0));
+  }
+}
+
+std::unique_ptr<Protocol> SlowBackoffFactory::create() const {
+  return std::make_unique<SlowBackoff>(params_);
+}
+
+}  // namespace lowsense

@@ -1,0 +1,27 @@
+#include "protocols/mw_full_sensing.hpp"
+
+#include <algorithm>
+
+namespace lowsense {
+
+MwFullSensing::MwFullSensing(const MwFullSensingParams& params)
+    : params_(params), w_(std::max(params.w_min, 2.0)) {}
+
+void MwFullSensing::on_observation(const Observation& obs) {
+  switch (obs.feedback) {
+    case Feedback::kEmpty:
+      w_ = std::max(w_ / params_.growth, std::max(params_.w_min, 2.0));
+      break;
+    case Feedback::kNoisy:
+      w_ *= params_.growth;
+      break;
+    case Feedback::kSuccess:
+      break;
+  }
+}
+
+std::unique_ptr<Protocol> MwFullSensingFactory::create() const {
+  return std::make_unique<MwFullSensing>(params_);
+}
+
+}  // namespace lowsense

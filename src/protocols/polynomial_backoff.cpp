@@ -1,0 +1,27 @@
+#include "protocols/polynomial_backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lowsense {
+
+PolynomialBackoff::PolynomialBackoff(const PolynomialBackoffParams& params)
+    : params_(params), w_(std::max(params.initial_window, 1.0)) {}
+
+void PolynomialBackoff::refresh() noexcept {
+  w_ = std::max(params_.initial_window, 1.0) *
+       std::pow(static_cast<double>(collisions_ + 1), params_.alpha);
+}
+
+void PolynomialBackoff::on_observation(const Observation& obs) {
+  if (obs.sent && obs.feedback == Feedback::kNoisy) {
+    ++collisions_;
+    refresh();
+  }
+}
+
+std::unique_ptr<Protocol> PolynomialBackoffFactory::create() const {
+  return std::make_unique<PolynomialBackoff>(params_);
+}
+
+}  // namespace lowsense

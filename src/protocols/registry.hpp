@@ -1,0 +1,23 @@
+// Name-keyed protocol factory registry so benches, examples, and tests can
+// select protocols from the command line ("low-sensing", "beb", ...).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocols/protocol.hpp"
+
+namespace lowsense {
+
+/// Builds a factory by name with library defaults. Known names:
+///   "low-sensing" | "lsb", "binary-exponential" | "beb",
+///   "capped-exponential", "polynomial", "slow-oblivious",
+///   "mw-full-sensing" | "mw", "aloha:<p>" (e.g. "aloha:0.01").
+/// Returns nullptr for unknown names.
+std::unique_ptr<ProtocolFactory> make_protocol(const std::string& name);
+
+/// All canonical registry names (for --help output and tests).
+std::vector<std::string> protocol_names();
+
+}  // namespace lowsense

@@ -1,0 +1,33 @@
+#include "protocols/windowed_ethernet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lowsense {
+
+WindowedEthernet::WindowedEthernet(const WindowedEthernetParams& params)
+    : params_(params), w_(std::max(params.initial_window, 1.0)) {}
+
+bool WindowedEthernet::aborted() const noexcept {
+  return params_.max_attempts != 0 && collisions_ >= params_.max_attempts;
+}
+
+void WindowedEthernet::on_observation(const Observation& obs) {
+  if (obs.sent && obs.feedback == Feedback::kNoisy) {
+    ++collisions_;
+    w_ *= params_.growth;
+    if (params_.max_window > 0.0) w_ = std::min(w_, params_.max_window);
+  }
+}
+
+std::uint64_t WindowedEthernet::draw_gap(Rng& rng) const {
+  if (aborted()) return kNoSlot;  // "excessive collisions": give up
+  const auto span = static_cast<std::uint64_t>(std::ceil(w_));
+  return 1 + rng.next_below(std::max<std::uint64_t>(span, 1));
+}
+
+std::unique_ptr<Protocol> WindowedEthernetFactory::create() const {
+  return std::make_unique<WindowedEthernet>(params_);
+}
+
+}  // namespace lowsense

@@ -1,0 +1,195 @@
+// Implementation of the shared simulation core: the ternary-feedback
+// channel semantics of §1.1 live in SimCore::resolve_slot.
+#include "sim/sim_core.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lowsense::detail {
+
+SimCore::SimCore(const ProtocolFactory& factory, ArrivalProcess& arrivals, Jammer& jammer,
+                 const RunConfig& config)
+    : factory_(factory), arrivals_(arrivals), jammer_(jammer), config_(config) {}
+
+Slot SimCore::next_arrival_slot() {
+  if (!pending_ && !arrivals_done_) {
+    pending_ = arrivals_.next();
+    if (!pending_) arrivals_done_ = true;
+  }
+  return pending_ ? pending_->slot : kNoSlot;
+}
+
+void SimCore::inject_arrivals_at(Slot t, std::vector<std::uint32_t>* out_new) {
+  while (next_arrival_slot() == t) {
+    const std::uint64_t count = pending_->count;
+    pending_.reset();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto id = static_cast<std::uint32_t>(packets_.size());
+      Packet pkt;
+      pkt.proto = factory_.create();
+      pkt.rng = Rng::stream(config_.seed, id);
+      pkt.arrival = t;
+      pkt.active = true;
+      pkt.send_prob = pkt.proto->send_prob();
+      // A packet injected at slot t may act in slot t itself (Fig. 1 sets
+      // w_u(t) = w_min at the injection slot), so the first gap is
+      // anchored at t, not t+1.
+      const std::uint64_t gap = pkt.proto->draw_gap(pkt.rng);
+      pkt.next_access = gap == kNoSlot ? kNoSlot : t + gap - 1;
+      counters_.contention += pkt.send_prob;
+      ++counters_.arrivals;
+      ++counters_.backlog;
+      max_window_ = std::max(max_window_, pkt.proto->window());
+      pkt.active_pos = static_cast<std::uint32_t>(active_ids_.size());
+      packets_.push_back(std::move(pkt));
+      active_ids_.push_back(id);
+      if (out_new) out_new->push_back(id);
+      for (auto* obs : observers_) obs->on_arrival(t, id, *packets_[id].proto);
+    }
+    peak_backlog_ = std::max(peak_backlog_, counters_.backlog);
+  }
+}
+
+SystemView SimCore::view() const noexcept {
+  SystemView v;
+  v.n_active = counters_.backlog;
+  v.contention = counters_.contention;
+  v.arrivals = counters_.arrivals;
+  v.successes = counters_.successes;
+  return v;
+}
+
+void SimCore::depart(Slot t, std::uint32_t id) {
+  Packet& pkt = packets_[id];
+  assert(pkt.active);
+  pkt.active = false;
+  counters_.contention -= pkt.send_prob;
+  --counters_.backlog;
+  ++counters_.successes;
+  // Swap-remove from the active list in O(1) via the stored position.
+  const std::uint32_t pos = pkt.active_pos;
+  assert(pos < active_ids_.size() && active_ids_[pos] == id);
+  active_ids_[pos] = active_ids_.back();
+  packets_[active_ids_[pos]].active_pos = pos;
+  active_ids_.pop_back();
+  latency_stats_.add(static_cast<double>(t - pkt.arrival + 1));
+  for (auto* obs : observers_) {
+    obs->on_departure(t, id, pkt.arrival, pkt.accesses, pkt.sends, pkt.proto->window());
+  }
+}
+
+void SimCore::apply_observation(Slot t, std::uint32_t id, const Observation& obs) {
+  Packet& pkt = packets_[id];
+  const double old_w = pkt.proto->window();
+  pkt.proto->on_observation(obs);
+  const double new_w = pkt.proto->window();
+  const double new_sp = pkt.proto->send_prob();
+  counters_.contention += new_sp - pkt.send_prob;
+  pkt.send_prob = new_sp;
+  max_window_ = std::max(max_window_, new_w);
+  if (new_w != old_w) {
+    for (auto* o : observers_) o->on_window_change(t, id, old_w, new_w);
+  }
+}
+
+void SimCore::draw_gap_after_access(Slot t, std::uint32_t id) {
+  Packet& pkt = packets_[id];
+  const std::uint64_t gap = pkt.proto->draw_gap(pkt.rng);
+  pkt.next_access = gap == kNoSlot ? kNoSlot : t + gap;
+}
+
+void SimCore::resolve_slot(Slot t, std::span<const std::uint32_t> accessor_ids) {
+  // 1. Send decisions (one uniform draw per accessor, from its own stream).
+  scratch_senders_.clear();
+  scratch_sender_pids_.clear();
+  for (std::uint32_t id : accessor_ids) {
+    Packet& pkt = packets_[id];
+    ++pkt.accesses;
+    if (pkt.rng.bernoulli(pkt.proto->send_prob_given_access())) {
+      ++pkt.sends;
+      scratch_senders_.push_back(id);
+      scratch_sender_pids_.push_back(id);
+    }
+  }
+
+  // 2. Jam decision. Adaptive jammers see `view` (state through slot t-1
+  //    plus this slot's injections, which are the adversary's own);
+  //    reactive jammers additionally see the sender list.
+  const bool jammed = jammer_.jam(t, view(), scratch_sender_pids_);
+
+  // 3. Outcome (§1.1): jam => noisy; two senders => noisy; one sender and
+  //    no jam => success; else empty.
+  const bool success = !jammed && scratch_senders_.size() == 1;
+  Feedback fb = Feedback::kNoisy;
+  if (success) {
+    fb = Feedback::kSuccess;
+  } else if (!jammed && scratch_senders_.empty()) {
+    fb = Feedback::kEmpty;
+  }
+
+  // 4. Departure of the winner (it learns its success implicitly and never
+  //    receives an on_observation callback).
+  if (success) depart(t, scratch_senders_.front());
+
+  // 5. Feedback to every other accessor, then redraw its next-access gap.
+  for (std::uint32_t id : accessor_ids) {
+    Packet& pkt = packets_[id];
+    if (!pkt.active) continue;  // the departed winner
+    const bool sent = std::find(scratch_senders_.begin(), scratch_senders_.end(), id) !=
+                      scratch_senders_.end();
+    apply_observation(t, id, Observation{fb, sent});
+    draw_gap_after_access(t, id);
+  }
+
+  // 6. Counters + observers.
+  ++counters_.active_slots;
+  if (jammed) ++counters_.jammed_active_slots;
+  counters_.slot = t;
+
+  SlotInfo info;
+  info.slot = t;
+  info.accessors = static_cast<std::uint32_t>(accessor_ids.size());
+  info.senders = static_cast<std::uint32_t>(scratch_senders_.size());
+  info.jammed = jammed;
+  info.success = success;
+  info.feedback = fb;
+  for (auto* obs : observers_) obs->on_slot(info, counters_);
+}
+
+void SimCore::account_quiet_span(Slot lo, Slot hi) {
+  if (hi < lo) return;
+  const std::uint64_t len = hi - lo + 1;
+  const std::uint64_t jams = jammer_.count_quiet_range(lo, hi, view());
+  counters_.active_slots += len;
+  counters_.jammed_active_slots += jams;
+  counters_.slot = hi;
+  for (auto* obs : observers_) obs->on_quiet_span(lo, hi, jams, counters_);
+}
+
+double SimCore::recompute_contention() const {
+  double c = 0.0;
+  for (std::uint32_t id : active_ids_) c += packets_[id].proto->send_prob();
+  return c;
+}
+
+void SimCore::finish(RunResult* result) {
+  for (const Packet& pkt : packets_) {
+    access_stats_.add(static_cast<double>(pkt.accesses));
+    send_stats_.add(static_cast<double>(pkt.sends));
+    access_hist_.add(static_cast<double>(pkt.accesses));
+    max_accesses_ = std::max(max_accesses_, pkt.accesses);
+  }
+  result->counters = counters_;
+  result->drained = arrivals_exhausted() && counters_.backlog == 0;
+  result->max_accesses = max_accesses_;
+  result->peak_backlog = peak_backlog_;
+  result->max_window_seen = max_window_;
+  result->jams_total = jammer_.jams_used();
+  result->access_stats = access_stats_;
+  result->send_stats = send_stats_;
+  result->latency_stats = latency_stats_;
+  result->access_hist = access_hist_;
+  for (auto* obs : observers_) obs->on_run_end(counters_);
+}
+
+}  // namespace lowsense::detail

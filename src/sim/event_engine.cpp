@@ -1,0 +1,78 @@
+#include "sim/event_engine.hpp"
+
+#include <algorithm>
+
+namespace lowsense {
+
+EventEngine::EventEngine(const ProtocolFactory& factory, ArrivalProcess& arrivals, Jammer& jammer,
+                         const RunConfig& config)
+    : config_(config), core_(factory, arrivals, jammer, config) {}
+
+void EventEngine::push_access(std::uint32_t id) {
+  const detail::Packet& pkt = core_.packet(id);
+  if (pkt.active && pkt.next_access != kNoSlot) {
+    queue_.push({pkt.next_access, id});
+  }
+}
+
+RunResult EventEngine::run() {
+  RunResult result;
+  std::vector<std::uint32_t> accessors;
+  std::vector<std::uint32_t> new_ids;
+  Slot t = 0;
+
+  while (true) {
+    if (config_.max_active_slots != 0 &&
+        core_.counters().active_slots >= config_.max_active_slots) {
+      break;
+    }
+    if (config_.max_slot != 0 && t > config_.max_slot) break;
+
+    const Slot next_arr = core_.next_arrival_slot();
+    const Slot next_acc = queue_.empty() ? kNoSlot : queue_.top().first;
+    const Slot next_ev = std::min(next_arr, next_acc);
+    if (next_ev == kNoSlot) break;  // nothing will ever happen again
+
+    if (core_.n_active() == 0) {
+      t = next_ev;  // inactive stretch: free skip, no slots counted
+    } else if (next_ev > t) {
+      // Quiet ACTIVE span [t, next_ev-1]: no accesses, state constant.
+      Slot hi = next_ev - 1;
+      if (config_.max_slot != 0) hi = std::min(hi, config_.max_slot);
+      if (config_.max_active_slots != 0) {
+        const std::uint64_t remaining =
+            config_.max_active_slots - core_.counters().active_slots;
+        if (hi - t + 1 > remaining) hi = t + remaining - 1;
+      }
+      core_.account_quiet_span(t, hi);
+      t = hi + 1;
+      if (t != next_ev) break;  // a budget truncated the span
+    }
+
+    if (config_.max_slot != 0 && t > config_.max_slot) break;
+    if (config_.max_active_slots != 0 &&
+        core_.counters().active_slots >= config_.max_active_slots) {
+      break;
+    }
+
+    // Process event slot t: injections first (they may access immediately),
+    // then every queued access for this slot.
+    new_ids.clear();
+    core_.inject_arrivals_at(t, &new_ids);
+    for (std::uint32_t id : new_ids) push_access(id);
+
+    accessors.clear();
+    while (!queue_.empty() && queue_.top().first == t) {
+      accessors.push_back(queue_.top().second);
+      queue_.pop();
+    }
+    core_.resolve_slot(t, accessors);
+    for (std::uint32_t id : accessors) push_access(id);
+    ++t;
+  }
+
+  core_.finish(&result);
+  return result;
+}
+
+}  // namespace lowsense

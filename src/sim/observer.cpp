@@ -1,0 +1,9 @@
+// Observer is an interface with defaulted no-op hooks; this translation
+// unit anchors its vtable.
+#include "sim/observer.hpp"
+
+namespace lowsense {
+
+static_assert(sizeof(Observer) > 0);
+
+}  // namespace lowsense

@@ -1,0 +1,43 @@
+// Run configuration and result summary shared by both engines.
+#pragma once
+
+#include <cstdint>
+
+#include "core/histogram.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "sim/types.hpp"
+
+namespace lowsense {
+
+struct RunConfig {
+  /// Stop after this many ACTIVE slots (0 = unlimited). Implicit-throughput
+  /// experiments bound runs this way since inactive slots are free.
+  std::uint64_t max_active_slots = 0;
+
+  /// Stop after absolute slot index (0 = unlimited).
+  Slot max_slot = 0;
+
+  /// Master seed; packet i draws from Rng::stream(seed, i).
+  std::uint64_t seed = 1;
+};
+
+struct RunResult {
+  Counters counters;             ///< final cumulative counters
+  bool drained = false;          ///< all arrived packets departed & stream exhausted
+  std::uint64_t max_accesses = 0;         ///< worst per-packet channel accesses
+  std::uint64_t peak_backlog = 0;         ///< max packets simultaneously in system
+  double max_window_seen = 0.0;           ///< w_max over the whole run
+  std::uint64_t jams_total = 0;           ///< jammer's own count (incl. inactive slots)
+  StreamingStats access_stats;   ///< per-packet accesses (all packets, incl. survivors)
+  StreamingStats send_stats;     ///< per-packet transmissions
+  StreamingStats latency_stats;  ///< departure - arrival (departed packets only)
+  LogHistogram access_hist{2.0};
+
+  /// Overall throughput (T_t + J_t)/S_t — equals N/S on drained unjammed runs.
+  double throughput() const noexcept { return counters.throughput(); }
+  double implicit_throughput() const noexcept { return counters.implicit_throughput(); }
+  double mean_accesses() const noexcept { return access_stats.mean(); }
+};
+
+}  // namespace lowsense

@@ -1,0 +1,102 @@
+// Shared internals of the two simulation engines: packet storage, arrival
+// injection, contention bookkeeping, and single-slot resolution. The
+// engines differ ONLY in how they find the accessors of each slot (walking
+// slots vs. a priority queue of next-access events); everything semantic
+// lives here, which is what makes the engines trace-equivalent.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "protocols/protocol.hpp"
+#include "sim/observer.hpp"
+#include "sim/run.hpp"
+
+namespace lowsense::detail {
+
+struct Packet {
+  std::unique_ptr<Protocol> proto;
+  Rng rng{0};
+  Slot arrival = 0;
+  Slot next_access = kNoSlot;  ///< absolute slot of the next channel access
+  std::uint64_t accesses = 0;
+  std::uint64_t sends = 0;
+  double send_prob = 0.0;  ///< cached contribution to contention C(t)
+  std::uint32_t active_pos = 0;  ///< index into SimCore::active_ids_
+  bool active = false;
+};
+
+class SimCore {
+ public:
+  SimCore(const ProtocolFactory& factory, ArrivalProcess& arrivals, Jammer& jammer,
+          const RunConfig& config);
+
+  void add_observer(Observer* obs) { observers_.push_back(obs); }
+
+  // --- arrival handling -------------------------------------------------
+  /// Slot of the next pending arrival burst (kNoSlot when exhausted).
+  Slot next_arrival_slot();
+  /// Injects every pending burst with slot == t. Returns ids injected.
+  void inject_arrivals_at(Slot t, std::vector<std::uint32_t>* out_new);
+
+  // --- slot resolution --------------------------------------------------
+  /// Resolves one ACTIVE slot given the packets that access the channel in
+  /// it. Draws send decisions, consults the jammer (reactive jammers see
+  /// the sender list), applies feedback, departs the winner, redraws gaps,
+  /// updates counters, and notifies observers. Increments active_slots.
+  void resolve_slot(Slot t, std::span<const std::uint32_t> accessor_ids);
+
+  /// Accounts a maximal access-free active span [lo, hi] (event engine).
+  void account_quiet_span(Slot lo, Slot hi);
+
+  // --- state ------------------------------------------------------------
+  std::uint64_t n_active() const noexcept { return counters_.backlog; }
+  const Counters& counters() const noexcept { return counters_; }
+  SystemView view() const noexcept;
+  Packet& packet(std::uint32_t id) { return packets_[id]; }
+  const std::vector<std::uint32_t>& active_ids() const noexcept { return active_ids_; }
+  bool arrivals_exhausted() const noexcept { return arrivals_done_ && !pending_; }
+
+  /// O(n_active) recomputation of contention; tests compare it against the
+  /// incrementally maintained value to bound floating-point drift.
+  double recompute_contention() const;
+
+  void finish(RunResult* result);
+
+ private:
+  void depart(Slot t, std::uint32_t id);
+  void apply_observation(Slot t, std::uint32_t id, const Observation& obs);
+  void draw_gap_after_access(Slot t, std::uint32_t id);
+
+  const ProtocolFactory& factory_;
+  ArrivalProcess& arrivals_;
+  Jammer& jammer_;
+  RunConfig config_;
+
+  std::vector<Packet> packets_;
+  std::vector<std::uint32_t> active_ids_;  ///< ids of in-system packets
+  std::vector<std::uint32_t> scratch_senders_;
+  std::vector<PacketId> scratch_sender_pids_;
+  std::optional<ArrivalBurst> pending_;
+  bool arrivals_done_ = false;
+
+  Counters counters_;
+  std::vector<Observer*> observers_;
+
+  // Result accumulation.
+  std::uint64_t max_accesses_ = 0;
+  std::uint64_t peak_backlog_ = 0;
+  double max_window_ = 0.0;
+  StreamingStats access_stats_;
+  StreamingStats send_stats_;
+  StreamingStats latency_stats_;
+  LogHistogram access_hist_{2.0};
+};
+
+}  // namespace lowsense::detail

@@ -1,0 +1,47 @@
+#include "sim/slot_engine.hpp"
+
+#include <vector>
+
+namespace lowsense {
+
+SlotEngine::SlotEngine(const ProtocolFactory& factory, ArrivalProcess& arrivals, Jammer& jammer,
+                       const RunConfig& config)
+    : config_(config), core_(factory, arrivals, jammer, config) {}
+
+RunResult SlotEngine::run() {
+  RunResult result;
+  std::vector<std::uint32_t> accessors;
+  Slot t = 0;
+
+  while (true) {
+    if (config_.max_active_slots != 0 &&
+        core_.counters().active_slots >= config_.max_active_slots) {
+      break;
+    }
+    if (config_.max_slot != 0 && t > config_.max_slot) break;
+
+    if (core_.n_active() == 0) {
+      // Inactive stretch: skip (uncounted) to the next arrival.
+      const Slot next = core_.next_arrival_slot();
+      if (next == kNoSlot) break;  // drained
+      t = next;
+    }
+
+    core_.inject_arrivals_at(t, nullptr);
+
+    // Scan for this slot's accessors. Gap counters make the scan a simple
+    // comparison: a packet accesses exactly when its precomputed
+    // next-access slot arrives.
+    accessors.clear();
+    for (std::uint32_t id : core_.active_ids()) {
+      if (core_.packet(id).next_access == t) accessors.push_back(id);
+    }
+    core_.resolve_slot(t, accessors);
+    ++t;
+  }
+
+  core_.finish(&result);
+  return result;
+}
+
+}  // namespace lowsense

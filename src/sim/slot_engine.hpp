@@ -1,0 +1,29 @@
+// Reference engine: advances one slot at a time and scans the active
+// packet set for accessors. O(n_active) per active slot — slow but
+// transparently faithful to the model of §1.1. It is the ground truth the
+// event engine is tested against, and the only engine that supports
+// adversaries whose jam decision must be consulted on literally every slot.
+#pragma once
+
+#include "sim/sim_core.hpp"
+
+namespace lowsense {
+
+class SlotEngine {
+ public:
+  SlotEngine(const ProtocolFactory& factory, ArrivalProcess& arrivals, Jammer& jammer,
+             const RunConfig& config);
+
+  void add_observer(Observer* obs) { core_.add_observer(obs); }
+
+  /// Runs to drain or budget; returns the summary.
+  RunResult run();
+
+  const detail::SimCore& core() const noexcept { return core_; }
+
+ private:
+  RunConfig config_;
+  detail::SimCore core_;
+};
+
+}  // namespace lowsense

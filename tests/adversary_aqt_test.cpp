@@ -1,0 +1,95 @@
+// Unit tests for the adversarial-queuing (λ, S) constraint checker, plus
+// the certification that every AqtArrivals pattern emits a legal stream.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adversary/aqt.hpp"
+#include "adversary/arrivals.hpp"
+
+namespace lowsense {
+namespace {
+
+TEST(AqtChecker, EmptyStreamIsLegal) {
+  AqtConstraintChecker checker(0.5, 10);
+  EXPECT_FALSE(checker.check({}).has_value());
+  EXPECT_EQ(checker.max_window_load({}), 0u);
+}
+
+TEST(AqtChecker, BudgetArithmetic) {
+  EXPECT_EQ(AqtConstraintChecker(0.5, 10).budget(), 5u);
+  EXPECT_EQ(AqtConstraintChecker(0.3, 10).budget(), 3u);  // floor(3.0)
+  EXPECT_EQ(AqtConstraintChecker(0.01, 10).budget(), 0u);
+}
+
+TEST(AqtChecker, DetectsOverloadedWindow) {
+  AqtConstraintChecker checker(0.5, 10);  // cap 5 per 10-slot window
+  // Six events within slots [0, 9] violate.
+  const auto v = checker.check({0, 1, 2, 3, 4, 5});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->load, 6u);
+}
+
+TEST(AqtChecker, AcceptsExactlyFullWindow) {
+  AqtConstraintChecker checker(0.5, 10);
+  EXPECT_FALSE(checker.check({0, 2, 4, 6, 8}).has_value());  // load 5 == cap
+}
+
+TEST(AqtChecker, SlidingWindowCatchesStraddlingBursts) {
+  AqtConstraintChecker checker(0.5, 10);
+  // Two bursts of 3 at slots 9 and 10: the window [1,10] holds all 6.
+  const auto v = checker.check({9, 9, 9, 10, 10, 10});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->load, 6u);
+}
+
+TEST(AqtChecker, SeparatedBurstsAreLegal) {
+  AqtConstraintChecker checker(0.5, 10);
+  // Bursts of 5 exactly S=10 apart never co-occupy a window.
+  std::vector<Slot> events;
+  for (Slot w = 0; w < 10; ++w) {
+    for (int i = 0; i < 5; ++i) events.push_back(w * 10);
+  }
+  EXPECT_FALSE(checker.check(events).has_value());
+  EXPECT_EQ(checker.max_window_load(events), 5u);
+}
+
+TEST(AqtChecker, MaxLoadIsOrderInvariant) {
+  AqtConstraintChecker checker(0.5, 16);
+  EXPECT_EQ(checker.max_window_load({30, 1, 30, 2, 1}),
+            checker.max_window_load({1, 1, 2, 30, 30}));
+}
+
+TEST(AqtChecker, RejectsBadParameters) {
+  EXPECT_THROW(AqtConstraintChecker(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(AqtConstraintChecker(0.5, 0), std::invalid_argument);
+}
+
+// --- Certification: every generator pattern satisfies its own constraint.
+
+class AqtGeneratorLegality
+    : public ::testing::TestWithParam<std::tuple<AqtPattern, double, Slot>> {};
+
+TEST_P(AqtGeneratorLegality, GeneratedStreamSatisfiesConstraint) {
+  const auto [pattern, lambda, s] = GetParam();
+  AqtArrivals arrivals(lambda, s, pattern, 3000, Rng(99));
+  std::vector<Slot> events;
+  while (auto b = arrivals.next()) {
+    for (std::uint64_t i = 0; i < b->count; ++i) events.push_back(b->slot);
+  }
+  AqtConstraintChecker checker(lambda, s);
+  const auto violation = checker.check(events);
+  EXPECT_FALSE(violation.has_value())
+      << "pattern load " << (violation ? violation->load : 0) << " at window "
+      << (violation ? violation->window_start : 0) << " (cap " << checker.budget() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndRates, AqtGeneratorLegality,
+    ::testing::Combine(::testing::Values(AqtPattern::kSpread, AqtPattern::kFront,
+                                         AqtPattern::kRandom, AqtPattern::kPulse),
+                       ::testing::Values(0.1, 0.25, 0.5),
+                       ::testing::Values(Slot{32}, Slot{128}, Slot{1024})));
+
+}  // namespace
+}  // namespace lowsense

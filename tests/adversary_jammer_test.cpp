@@ -1,0 +1,190 @@
+// Unit tests for the jamming adversaries: per-slot decisions, quiet-range
+// accounting consistency, budgets, and the adaptive/reactive split.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adversary/jammer.hpp"
+
+namespace lowsense {
+namespace {
+
+SystemView some_view() {
+  SystemView v;
+  v.n_active = 10;
+  v.contention = 1.0;
+  return v;
+}
+
+TEST(NoJammer, NeverJams) {
+  NoJammer j;
+  EXPECT_FALSE(j.jam(0, some_view(), {}));
+  EXPECT_EQ(j.count_quiet_range(0, 1000, some_view()), 0u);
+  EXPECT_EQ(j.jams_used(), 0u);
+}
+
+TEST(ScheduleJammer, JamsExactlyScheduledSlots) {
+  ScheduleJammer j({5, 7, 7, 3});  // duplicates collapse
+  EXPECT_FALSE(j.jam(0, some_view(), {}));
+  EXPECT_TRUE(j.jam(3, some_view(), {}));
+  EXPECT_TRUE(j.jam(5, some_view(), {}));
+  EXPECT_FALSE(j.jam(6, some_view(), {}));
+  EXPECT_TRUE(j.jam(7, some_view(), {}));
+  EXPECT_EQ(j.jams_used(), 3u);
+}
+
+TEST(ScheduleJammer, QuietRangeCountsInclusive) {
+  ScheduleJammer j({10, 20, 30});
+  EXPECT_EQ(j.count_quiet_range(10, 30, some_view()), 3u);
+  EXPECT_EQ(j.count_quiet_range(11, 29, some_view()), 1u);
+  EXPECT_EQ(j.count_quiet_range(31, 100, some_view()), 0u);
+  EXPECT_EQ(j.count_quiet_range(5, 4, some_view()), 0u);  // empty range
+}
+
+TEST(RandomJammer, RateZeroNeverJams) {
+  RandomJammer j(0.0, 0, Rng(1));
+  for (Slot t = 0; t < 100; ++t) EXPECT_FALSE(j.jam(t, some_view(), {}));
+  EXPECT_EQ(j.count_quiet_range(0, 10000, some_view()), 0u);
+}
+
+TEST(RandomJammer, RateOneAlwaysJams) {
+  RandomJammer j(1.0, 0, Rng(2));
+  for (Slot t = 0; t < 100; ++t) EXPECT_TRUE(j.jam(t, some_view(), {}));
+  EXPECT_EQ(j.count_quiet_range(0, 99, some_view()), 100u);
+}
+
+TEST(RandomJammer, PerSlotFrequencyMatchesRate) {
+  RandomJammer j(0.3, 0, Rng(3));
+  int hits = 0;
+  const int n = 50000;
+  for (Slot t = 0; t < static_cast<Slot>(n); ++t) hits += j.jam(t, some_view(), {});
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RandomJammer, QuietRangeMatchesRateSmallSpan) {
+  // Exercises the exact geometric-skip path (len * rate < 64).
+  RandomJammer j(0.1, 0, Rng(4));
+  std::uint64_t totalJams = 0;
+  const int reps = 2000;
+  for (int i = 0; i < reps; ++i) totalJams += j.count_quiet_range(0, 99, some_view());
+  EXPECT_NEAR(static_cast<double>(totalJams) / reps, 10.0, 0.5);
+}
+
+TEST(RandomJammer, QuietRangeMatchesRateLargeSpan) {
+  // Exercises the normal-approximation path.
+  RandomJammer j(0.5, 0, Rng(5));
+  const std::uint64_t n = j.count_quiet_range(0, 999999, some_view());
+  EXPECT_NEAR(static_cast<double>(n), 500000.0, 5000.0);
+}
+
+TEST(RandomJammer, BudgetCapsTotalJams) {
+  RandomJammer j(1.0, 10, Rng(6));
+  EXPECT_EQ(j.count_quiet_range(0, 99, some_view()), 10u);
+  EXPECT_FALSE(j.jam(100, some_view(), {}));
+  EXPECT_EQ(j.jams_used(), 10u);
+}
+
+TEST(RandomJammer, RejectsBadRate) {
+  EXPECT_THROW(RandomJammer(1.5, 0, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomJammer(-0.1, 0, Rng(1)), std::invalid_argument);
+}
+
+TEST(BurstJammer, JamsBurstPrefixOfEachPeriod) {
+  BurstJammer j(10, 3);  // jams slots {0,1,2, 10,11,12, ...}
+  for (Slot t = 0; t < 30; ++t) {
+    EXPECT_EQ(j.jam(t, some_view(), {}), t % 10 < 3) << t;
+  }
+}
+
+TEST(BurstJammer, QuietRangeMatchesPerSlotDecisions) {
+  BurstJammer a(7, 2);
+  BurstJammer b(7, 2);
+  for (Slot lo = 0; lo < 30; ++lo) {
+    for (Slot hi = lo; hi < lo + 25; ++hi) {
+      std::uint64_t direct = 0;
+      for (Slot t = lo; t <= hi; ++t) direct += b.jam(t, some_view(), {});
+      ASSERT_EQ(a.count_quiet_range(lo, hi, some_view()), direct) << lo << ".." << hi;
+    }
+  }
+}
+
+TEST(BurstJammer, FullPeriodBurstJamsEverything) {
+  BurstJammer j(5, 9);  // burst clamps to period
+  EXPECT_EQ(j.count_quiet_range(0, 49, some_view()), 50u);
+}
+
+TEST(BurstJammer, RejectsZeroPeriod) {
+  EXPECT_THROW(BurstJammer(0, 1), std::invalid_argument);
+}
+
+TEST(ContentionBandJammer, JamsOnlyInsideBand) {
+  ContentionBandJammer j(0.5, 2.0, 0);
+  SystemView v = some_view();
+  v.contention = 1.0;
+  EXPECT_TRUE(j.jam(0, v, {}));
+  v.contention = 0.4;
+  EXPECT_FALSE(j.jam(1, v, {}));
+  v.contention = 3.0;
+  EXPECT_FALSE(j.jam(2, v, {}));
+  v.contention = 1.0;
+  v.n_active = 0;
+  EXPECT_FALSE(j.jam(3, v, {}));  // no one to disturb
+}
+
+TEST(ContentionBandJammer, BudgetEnforced) {
+  ContentionBandJammer j(0.0, 10.0, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(j.jam(i, some_view(), {}));
+  EXPECT_FALSE(j.jam(3, some_view(), {}));
+  EXPECT_EQ(j.jams_used(), 3u);
+}
+
+TEST(ContentionBandJammer, QuietRangeUsesConstantView) {
+  ContentionBandJammer j(0.5, 2.0, 5);
+  EXPECT_EQ(j.count_quiet_range(0, 99, some_view()), 5u);  // budget-capped
+  SystemView out_of_band = some_view();
+  out_of_band.contention = 10.0;
+  ContentionBandJammer k(0.5, 2.0, 5);
+  EXPECT_EQ(k.count_quiet_range(0, 99, out_of_band), 0u);
+}
+
+TEST(ReactiveVictimJammer, JamsOnlyVictimTransmissions) {
+  ReactiveVictimJammer j(7, 0);
+  const PacketId with_victim[] = {3, 7, 9};
+  const PacketId without_victim[] = {3, 9};
+  EXPECT_TRUE(j.jam(0, some_view(), with_victim));
+  EXPECT_FALSE(j.jam(1, some_view(), without_victim));
+  EXPECT_FALSE(j.jam(2, some_view(), {}));
+  EXPECT_EQ(j.jams_used(), 1u);
+}
+
+TEST(ReactiveVictimJammer, BudgetExhausts) {
+  ReactiveVictimJammer j(7, 2);
+  const PacketId senders[] = {7};
+  EXPECT_TRUE(j.jam(0, some_view(), senders));
+  EXPECT_TRUE(j.jam(1, some_view(), senders));
+  EXPECT_FALSE(j.jam(2, some_view(), senders));
+}
+
+TEST(ReactiveVictimJammer, NeverJamsQuietRanges) {
+  // Reactive jammers only react to sends; access-free ranges are safe.
+  ReactiveVictimJammer j(7, 0);
+  EXPECT_EQ(j.count_quiet_range(0, 1000000, some_view()), 0u);
+}
+
+TEST(ReactiveBlanketJammer, JamsAnySender) {
+  ReactiveBlanketJammer j(0);
+  const PacketId one[] = {4};
+  EXPECT_TRUE(j.jam(0, some_view(), one));
+  EXPECT_FALSE(j.jam(1, some_view(), {}));
+}
+
+TEST(ReactiveBlanketJammer, BudgetExhausts) {
+  ReactiveBlanketJammer j(1);
+  const PacketId one[] = {4};
+  EXPECT_TRUE(j.jam(0, some_view(), one));
+  EXPECT_FALSE(j.jam(1, some_view(), one));
+  EXPECT_EQ(j.jams_used(), 1u);
+}
+
+}  // namespace
+}  // namespace lowsense

@@ -1,0 +1,111 @@
+// Empirical checks of the adversarial multiplicative Azuma bounds
+// (Theorems 5.4 / 5.5, from Kuszmaul–Qi [113]) that the paper's analysis
+// leans on. We play the role of Alice: an adaptive adversary choosing each
+// X_i's distribution based on past outcomes, subject to a budget on the
+// sum of means, and verify the concentration the theorems promise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core/rng.hpp"
+
+namespace lowsense {
+namespace {
+
+/// Runs one adversarial game: `n` rounds; `pick_p` sees the running sum of
+/// outcomes and the rounds left, and returns the next Bernoulli mean,
+/// clamped so the total mean budget `mu` is never exceeded.
+double play_game(int n, double mu, Rng& rng,
+                 const std::function<double(double sum_so_far, int rounds_left)>& pick_p) {
+  double budget = mu;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double p = pick_p(sum, n - i);
+    p = std::clamp(p, 0.0, budget);
+    budget -= p;
+    sum += rng.bernoulli(p) ? 1.0 : 0.0;
+  }
+  return sum;
+}
+
+// Adaptive strategies trying to break concentration.
+const std::function<double(double, int)> kStrategies[] = {
+    // Spend evenly.
+    [](double, int left) { return left > 0 ? 1.0 / left : 0.0; },
+    // All-in early: p = 0.9 until budget gone.
+    [](double, int) { return 0.9; },
+    // Martingale-ish: bet more after losses (low sum).
+    [](double sum, int left) { return left > 0 ? (sum < 5 ? 0.8 : 0.05) : 0.0; },
+    // Bet more after wins (high sum): adversarial for upper tails.
+    [](double sum, int left) { return left > 0 ? (sum > 5 ? 0.8 : 0.05) : 0.0; },
+};
+
+TEST(AdversarialAzuma, UpperTailHoldsForAllStrategies) {
+  // Theorem 5.4 with c = 1: P[X >= (1+δ)µ] <= exp(-δ²µ/(2+δ)).
+  const double mu = 20.0;
+  const int n = 200;
+  const double delta = 1.0;  // bound: exp(-20/3) ≈ 1.3e-3
+  for (const auto& strat : kStrategies) {
+    int exceed = 0;
+    const int reps = 4000;
+    Rng rng(1234);
+    for (int r = 0; r < reps; ++r) {
+      exceed += play_game(n, mu, rng, strat) >= (1.0 + delta) * mu;
+    }
+    const double bound = std::exp(-delta * delta * mu / (2.0 + delta));
+    // Empirical frequency within the theoretical bound (plus slack for
+    // Monte-Carlo noise on a rare event).
+    EXPECT_LE(static_cast<double>(exceed) / reps, bound + 0.01);
+  }
+}
+
+TEST(AdversarialAzuma, LowerTailHoldsForAllStrategies) {
+  // Theorem 5.5: P[X <= (1-δ)µ] <= exp(-δ²µ/2) — but only when the
+  // adversary must SPEND the whole mean budget. Force that by using the
+  // even-spend strategy and verify the lower tail.
+  const double mu = 30.0;
+  const int n = 300;
+  const double delta = 0.6;  // bound: exp(-0.36*30/2) = exp(-5.4) ≈ 4.5e-3
+  int below = 0;
+  const int reps = 4000;
+  Rng rng(777);
+  for (int r = 0; r < reps; ++r) {
+    // Even spend: each round p = remaining/rounds_left = mu/n.
+    below += play_game(n, mu, rng, [&](double, int left) {
+               return left > 0 ? mu / n : 0.0;
+             }) <= (1.0 - delta) * mu;
+  }
+  const double bound = std::exp(-delta * delta * mu / 2.0);
+  EXPECT_LE(static_cast<double>(below) / reps, bound + 0.01);
+}
+
+TEST(AdversarialAzuma, MeansConcentrateForAdaptiveChoices) {
+  // Whatever the adaptive strategy, X/µ should concentrate near <= 1 in
+  // expectation: E[X] <= µ by construction.
+  const double mu = 50.0;
+  const int n = 500;
+  for (const auto& strat : kStrategies) {
+    double total = 0.0;
+    const int reps = 2000;
+    Rng rng(4242);
+    for (int r = 0; r < reps; ++r) total += play_game(n, mu, rng, strat);
+    EXPECT_LE(total / reps, mu * 1.02);
+  }
+}
+
+TEST(AdversarialAzuma, BudgetIsRespected) {
+  // The game clamps to the budget: even the all-in strategy cannot make
+  // the sum of means exceed µ, so X <= n but E[X] <= µ exactly.
+  const double mu = 10.0;
+  Rng rng(5);
+  double total = 0.0;
+  const int reps = 3000;
+  for (int r = 0; r < reps; ++r) {
+    total += play_game(100, mu, rng, [](double, int) { return 1.0; });
+  }
+  EXPECT_NEAR(total / reps, mu, 0.3);
+}
+
+}  // namespace
+}  // namespace lowsense

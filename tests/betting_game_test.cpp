@@ -1,0 +1,111 @@
+// Unit and statistical tests for the §5.5 betting game (Lemma 5.20).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "betting/betting_game.hpp"
+
+namespace lowsense {
+namespace {
+
+BettingParams default_params() { return BettingParams{}; }
+
+TEST(BettingGame, ZeroIncomeIsInstantlyBroke) {
+  const BettingOutcome out =
+      play_betting_game(default_params(), BettingPolicy::minimum(), 0.0, Rng(1));
+  EXPECT_TRUE(out.broke);
+  EXPECT_EQ(out.bets, 0u);
+}
+
+TEST(BettingGame, OutcomeFieldsConsistent) {
+  const BettingOutcome out =
+      play_betting_game(default_params(), BettingPolicy::minimum(), 100.0, Rng(2));
+  EXPECT_GE(out.max_wealth, 100.0);  // starts at P
+  EXPECT_GE(out.bets, 1u);
+  EXPECT_GE(out.volume_played, default_params().s_min);
+  EXPECT_LE(out.wins, out.bets);
+  if (out.broke) {
+    EXPECT_LE(out.final_wealth, 0.0);
+  }
+}
+
+TEST(BettingGame, DeterministicPerSeed) {
+  const BettingOutcome a =
+      play_betting_game(default_params(), BettingPolicy::minimum(), 500.0, Rng(7));
+  const BettingOutcome b =
+      play_betting_game(default_params(), BettingPolicy::minimum(), 500.0, Rng(7));
+  EXPECT_EQ(a.bets, b.bets);
+  EXPECT_DOUBLE_EQ(a.final_wealth, b.final_wealth);
+}
+
+TEST(BettingGame, BettorAlmostAlwaysGoesBroke) {
+  // Lemma 5.20: w.h.p. in P the bettor goes broke. At P = 2000 the failure
+  // probability is tiny; demand >= 95% broke across seeds for each policy.
+  const double P = 2000.0;
+  for (const BettingPolicy& policy :
+       {BettingPolicy::minimum(), BettingPolicy::fixed(64.0), BettingPolicy::random(5)}) {
+    int broke = 0;
+    const int reps = 100;
+    for (int i = 0; i < reps; ++i) {
+      broke += play_betting_game(default_params(), policy, P,
+                                 Rng::stream(33, static_cast<std::uint64_t>(i)))
+                   .broke;
+    }
+    EXPECT_GE(broke, 95) << policy.name;
+  }
+}
+
+TEST(BettingGame, BrokeVolumeIsLinearInIncome) {
+  // The bettor goes broke within O(P) bet volume: median volume/P stays
+  // bounded as P grows by 16x.
+  for (double P : {500.0, 2000.0, 8000.0}) {
+    std::vector<double> vols;
+    for (int i = 0; i < 40; ++i) {
+      const auto out = play_betting_game(default_params(), BettingPolicy::minimum(), P,
+                                         Rng::stream(44, static_cast<std::uint64_t>(i)));
+      if (out.broke) vols.push_back(out.volume_played / P);
+    }
+    ASSERT_GT(vols.size(), 30u);
+    std::sort(vols.begin(), vols.end());
+    EXPECT_LT(vols[vols.size() / 2], 4.0) << "P=" << P;
+  }
+}
+
+TEST(BettingGame, MaxWealthIsLinearInIncome) {
+  // Lemma 5.20's second claim: peak wealth O(P).
+  for (double P : {500.0, 4000.0}) {
+    double worst = 0.0;
+    for (int i = 0; i < 40; ++i) {
+      const auto out = play_betting_game(default_params(), BettingPolicy::minimum(), P,
+                                         Rng::stream(55, static_cast<std::uint64_t>(i)));
+      worst = std::max(worst, out.max_wealth / P);
+    }
+    EXPECT_LT(worst, 5.0) << "P=" << P;
+  }
+}
+
+TEST(BettingGame, ProportionalPolicyStillLoses) {
+  // Even betting the whole bankroll (big bets lose with prob ~1-1/s) the
+  // bettor cannot escape: big bets almost never win.
+  int broke = 0;
+  for (int i = 0; i < 50; ++i) {
+    broke += play_betting_game(default_params(), BettingPolicy::proportional(), 1000.0,
+                               Rng::stream(66, static_cast<std::uint64_t>(i)))
+                 .broke;
+  }
+  EXPECT_GE(broke, 45);
+}
+
+TEST(BettingPolicy, SizesBehave) {
+  EXPECT_DOUBLE_EQ(BettingPolicy::fixed(32.0).bet_size(1.0, 1.0), 32.0);
+  EXPECT_DOUBLE_EQ(BettingPolicy::proportional().bet_size(77.0, 1.0), 77.0);
+  const auto rnd = BettingPolicy::random(9);
+  for (int i = 0; i < 100; ++i) {
+    const double s = rnd.bet_size(0.0, 0.0);
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 4096.0);
+  }
+}
+
+}  // namespace
+}  // namespace lowsense

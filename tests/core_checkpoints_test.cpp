@@ -1,0 +1,56 @@
+// Unit tests for log-spaced checkpoint schedules.
+#include <gtest/gtest.h>
+
+#include "core/checkpoints.hpp"
+
+namespace lowsense {
+namespace {
+
+TEST(LogCheckpoints, EmptyHorizon) {
+  EXPECT_TRUE(log_checkpoints(0).empty());
+}
+
+TEST(LogCheckpoints, IncludesHorizonAndIsStrictlyIncreasing) {
+  const auto cps = log_checkpoints(1000, 1.5);
+  ASSERT_FALSE(cps.empty());
+  EXPECT_EQ(cps.back(), 1000u);
+  for (std::size_t i = 1; i < cps.size(); ++i) ASSERT_GT(cps[i], cps[i - 1]);
+}
+
+TEST(LogCheckpoints, CoversSmallHorizonDensely) {
+  const auto cps = log_checkpoints(4, 2.0);
+  EXPECT_EQ(cps.front(), 1u);
+  EXPECT_EQ(cps.back(), 4u);
+}
+
+TEST(LogCheckpoints, CountIsLogarithmic) {
+  const auto cps = log_checkpoints(1u << 30, 1.3);
+  // log_{1.3}(2^30) ~ 79; allow generous slack.
+  EXPECT_LT(cps.size(), 120u);
+  EXPECT_GT(cps.size(), 40u);
+}
+
+TEST(CheckpointClock, FiresOnGeometricSchedule) {
+  CheckpointClock clock(2.0);
+  int fires = 0;
+  for (std::uint64_t t = 1; t <= 1024; ++t) fires += clock.due(t);
+  // Roughly log2(1024) = 10 firings.
+  EXPECT_GE(fires, 9);
+  EXPECT_LE(fires, 13);
+}
+
+TEST(CheckpointClock, SkipsAheadOnSparseQueries) {
+  CheckpointClock clock(2.0);
+  EXPECT_TRUE(clock.due(1000));   // jumps all intermediate checkpoints
+  EXPECT_FALSE(clock.due(1000));  // does not double-fire
+  EXPECT_GT(clock.next(), 1000u);
+}
+
+TEST(CheckpointClock, MinimumGrowthEnforced) {
+  CheckpointClock clock(0.5);  // clamped to 1.01
+  EXPECT_TRUE(clock.due(1));
+  EXPECT_GT(clock.next(), 1u);
+}
+
+}  // namespace
+}  // namespace lowsense

@@ -1,0 +1,80 @@
+// Unit tests for the log-bucketed histogram used for per-packet access
+// counts and latencies.
+#include <gtest/gtest.h>
+
+#include "core/histogram.hpp"
+
+namespace lowsense {
+namespace {
+
+TEST(LogHistogram, EmptyState) {
+  LogHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_NE(h.render().find("empty"), std::string::npos);
+}
+
+TEST(LogHistogram, TotalAndExtremes) {
+  LogHistogram h;
+  h.add(1.0);
+  h.add(100.0);
+  h.add(10000.0, 3);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10000.0);
+}
+
+TEST(LogHistogram, BucketBoundaries) {
+  LogHistogram h(2.0);
+  h.add(0.5);   // bucket 0
+  h.add(1.5);   // bucket 0 ([1,2))
+  h.add(2.0);   // bucket 1 ([2,4))
+  h.add(7.9);   // bucket 2 ([4,8))
+  h.add(8.0);   // bucket 3 ([8,16))
+  EXPECT_GE(h.bucket_count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(LogHistogram, QuantileIsMonotone) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LogHistogram, QuantileApproximatesMedian) {
+  LogHistogram h(1.2);  // finer buckets for a tighter estimate
+  for (int i = 1; i <= 999; ++i) h.add(static_cast<double>(i));
+  const double med = h.quantile(0.5);
+  EXPECT_GT(med, 300.0);
+  EXPECT_LT(med, 800.0);
+}
+
+TEST(LogHistogram, ZeroWeightIgnored) {
+  LogHistogram h;
+  h.add(5.0, 0);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(LogHistogram, NegativeValuesClampToZeroBucket) {
+  LogHistogram h;
+  h.add(-3.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(LogHistogram, RenderShowsCounts) {
+  LogHistogram h;
+  h.add(2.0, 7);
+  EXPECT_NE(h.render().find("7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lowsense

@@ -1,0 +1,193 @@
+// Unit tests for the RNG layer: determinism, stream independence, and the
+// distributional correctness of the geometric-gap sampler (the primitive
+// both engines rely on for trace equivalence).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace lowsense {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng a(5);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next_u64());
+  a.reseed(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, StreamsAreIndependentPerId) {
+  Rng a = Rng::stream(99, 0);
+  Rng b = Rng::stream(99, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, StreamsAreDeterministic) {
+  Rng a = Rng::stream(7, 31337);
+  Rng b = Rng::stream(7, 31337);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, PositiveDoublesNeverZero) {
+  Rng rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double_pos();
+    ASSERT_GT(d, 0.0);
+    ASSERT_LE(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanIsHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(14);
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(15);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(p);
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(16);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowUniformity) {
+  Rng rng(17);
+  const std::uint64_t k = 8;
+  std::vector<int> counts(k, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(k)];
+  for (std::uint64_t j = 0; j < k; ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, 1.0 / static_cast<double>(k), 0.01);
+  }
+}
+
+TEST(GeometricGap, EdgeProbabilities) {
+  Rng rng(18);
+  EXPECT_EQ(rng.geometric_gap(1.0), 1u);
+  EXPECT_EQ(rng.geometric_gap(1.5), 1u);
+  EXPECT_EQ(rng.geometric_gap(0.0), kNoSlot);
+  EXPECT_EQ(rng.geometric_gap(-0.5), kNoSlot);
+}
+
+TEST(GeometricGap, SupportStartsAtOne) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(rng.geometric_gap(0.9), 1u);
+}
+
+TEST(GeometricGap, MeanMatchesInverseP) {
+  // E[Geometric(p)] = 1/p.
+  Rng rng(20);
+  for (double p : {0.5, 0.1, 0.01}) {
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric_gap(p));
+    EXPECT_NEAR(sum / n, 1.0 / p, 3.0 / p * 0.05) << "p=" << p;
+  }
+}
+
+TEST(GeometricGap, TailMatchesClosedForm) {
+  // P(G > k) = (1-p)^k.
+  Rng rng(21);
+  const double p = 0.2;
+  const int k = 10;
+  int over = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) over += rng.geometric_gap(p) > static_cast<std::uint64_t>(k);
+  const double expected = std::pow(1.0 - p, k);
+  EXPECT_NEAR(static_cast<double>(over) / n, expected, 0.005);
+}
+
+TEST(GeometricGap, TinyProbabilityDoesNotOverflow) {
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t g = rng.geometric_gap(1e-12);
+    ASSERT_GE(g, 1u);
+  }
+}
+
+TEST(Poisson, MeanAndZeroRate) {
+  Rng rng(23);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+  for (double mean : {0.5, 4.0, 100.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.02) << "mean=" << mean;
+  }
+}
+
+TEST(Poisson, VarianceMatchesMean) {
+  Rng rng(24);
+  const double mean = 8.0;
+  const int n = 100000;
+  double s = 0.0, s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.poisson(mean));
+    s += x;
+    s2 += x * x;
+  }
+  const double m = s / n;
+  const double var = s2 / n - m * m;
+  EXPECT_NEAR(var, mean, mean * 0.1);
+}
+
+}  // namespace
+}  // namespace lowsense

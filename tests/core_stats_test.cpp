@@ -1,0 +1,161 @@
+// Unit tests for streaming statistics, summaries, and the regression fits
+// the benches use to check asymptotic shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace lowsense {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, NegativeValues) {
+  StreamingStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(QuantileSorted, InterpolatesLinearly) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 10.0);
+}
+
+TEST(QuantileSorted, Degenerate) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 0.99), 7.0);
+}
+
+TEST(Summary, OfKnownVector) {
+  const Summary s = Summary::of({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summary, Empty) {
+  const Summary s = Summary::of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(FitLinear, ExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(FitLinear, DegenerateInputs) {
+  const LinearFit f = fit_linear({1.0}, {2.0});
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  const LinearFit g = fit_linear({2.0, 2.0}, {1.0, 3.0});  // vertical
+  EXPECT_DOUBLE_EQ(g.slope, 0.0);
+}
+
+TEST(FitPolylog, RecoversExponent) {
+  // y = 2 * (ln x)^3.
+  std::vector<double> x, y;
+  for (double v = 16; v <= 1 << 20; v *= 2) {
+    x.push_back(v);
+    y.push_back(2.0 * std::pow(std::log(v), 3.0));
+  }
+  const PolylogFit f = fit_polylog(x, y);
+  EXPECT_NEAR(f.exponent, 3.0, 0.05);
+  EXPECT_NEAR(f.coeff, 2.0, 0.3);
+  EXPECT_GT(f.r2, 0.999);
+}
+
+TEST(FitPower, RecoversExponent) {
+  // y = 0.5 * x^1.5.
+  std::vector<double> x, y;
+  for (double v = 2; v <= 4096; v *= 2) {
+    x.push_back(v);
+    y.push_back(0.5 * std::pow(v, 1.5));
+  }
+  const PolylogFit f = fit_power(x, y);
+  EXPECT_NEAR(f.exponent, 1.5, 1e-6);
+  EXPECT_NEAR(f.coeff, 0.5, 1e-6);
+}
+
+TEST(FitPower, DistinguishesLinearFromPolylog) {
+  // Linear growth should have power exponent ~1; polylog growth ~0.
+  std::vector<double> x, ylin, ylog;
+  for (double v = 256; v <= 1 << 20; v *= 2) {
+    x.push_back(v);
+    ylin.push_back(0.25 * v);
+    ylog.push_back(std::pow(std::log(v), 2.0));
+  }
+  EXPECT_NEAR(fit_power(x, ylin).exponent, 1.0, 0.01);
+  EXPECT_LT(fit_power(x, ylog).exponent, 0.35);
+}
+
+}  // namespace
+}  // namespace lowsense

@@ -1,0 +1,54 @@
+// Unit tests for the uniform experiment reporting helpers (stdout capture).
+#include <gtest/gtest.h>
+
+#include "core/table.hpp"
+#include "harness/report.hpp"
+
+namespace lowsense {
+namespace {
+
+TEST(Report, HeaderContainsIdAnchorAndClaim) {
+  ::testing::internal::CaptureStdout();
+  report_header("T1", "Cor 1.4", "LSB is Theta(1)");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("T1"), std::string::npos);
+  EXPECT_NE(out.find("Cor 1.4"), std::string::npos);
+  EXPECT_NE(out.find("claim: LSB is Theta(1)"), std::string::npos);
+}
+
+TEST(Report, TableAndNoteAreRendered) {
+  Table t({"a"});
+  t.add_row({"42"});
+  ::testing::internal::CaptureStdout();
+  report_table(t, "a note");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("a note"), std::string::npos);
+}
+
+TEST(Report, TableWithoutNoteOmitsIt) {
+  Table t({"a"});
+  ::testing::internal::CaptureStdout();
+  report_table(t);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(out.find("—"), std::string::npos);
+}
+
+TEST(Report, CheckShowsPassAndFail) {
+  ::testing::internal::CaptureStdout();
+  report_check("shape holds", true, "x=1");
+  report_check("shape broken", false);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("[PASS] shape holds — x=1"), std::string::npos);
+  EXPECT_NE(out.find("[FAIL] shape broken"), std::string::npos);
+}
+
+TEST(Report, FooterNamesExperiment) {
+  ::testing::internal::CaptureStdout();
+  report_footer("T9");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("end T9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lowsense

@@ -1,0 +1,85 @@
+// Unit tests for energy accounting and the polylog envelope helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "metrics/energy.hpp"
+#include "protocols/binary_exponential.hpp"
+#include "protocols/low_sensing.hpp"
+#include "sim/event_engine.hpp"
+
+namespace lowsense {
+namespace {
+
+RunResult run_lsb_batch(std::uint64_t n, std::uint64_t seed) {
+  LowSensingFactory factory;
+  BatchArrivals arrivals(n);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = seed;
+  EventEngine engine(factory, arrivals, none, cfg);
+  return engine.run();
+}
+
+TEST(EnergyReport, FieldsAreConsistent) {
+  const RunResult r = run_lsb_batch(200, 3);
+  const EnergyReport e = EnergyReport::of(r);
+  EXPECT_GT(e.mean_accesses, 0.0);
+  EXPECT_GE(static_cast<double>(e.max_accesses), e.mean_accesses);
+  EXPECT_GE(e.p99_accesses, 0.0);
+  EXPECT_GE(e.mean_accesses, e.mean_sends);  // sends are a subset of accesses
+}
+
+TEST(EnergyReport, SendsAreSubsetOfAccesses) {
+  const RunResult r = run_lsb_batch(100, 4);
+  EXPECT_LE(r.send_stats.sum(), r.access_stats.sum());
+}
+
+TEST(EnergyReport, BebAccessesEqualSends) {
+  // BEB only touches the channel to transmit.
+  BinaryExponentialFactory factory;
+  BatchArrivals arrivals(50);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 5;
+  cfg.max_active_slots = 1 << 20;
+  EventEngine engine(factory, arrivals, none, cfg);
+  const RunResult r = engine.run();
+  EXPECT_DOUBLE_EQ(r.access_stats.sum(), r.send_stats.sum());
+}
+
+TEST(Ln4Envelope, MatchesClosedForm) {
+  const double l = std::log(1000.0);
+  EXPECT_NEAR(ln4_envelope(1000.0, 2.0, 5.0), 2.0 * l * l * l * l + 5.0, 1e-9);
+  // Clamps the argument at 2 to avoid log(0).
+  EXPECT_GT(ln4_envelope(0.0, 1.0, 0.0), 0.0);
+}
+
+TEST(FitAccessGrowth, FlagsPolylogVsLinear) {
+  std::vector<double> n, polylog_y, linear_y;
+  for (double v = 64; v <= 1 << 16; v *= 2) {
+    n.push_back(v);
+    polylog_y.push_back(3.0 * std::pow(std::log(v), 2.0));
+    linear_y.push_back(0.5 * v);
+  }
+  // Polylog data: moderate exponent against ln n with good fit.
+  const PolylogFit pf = fit_access_growth(n, polylog_y);
+  EXPECT_NEAR(pf.exponent, 2.0, 0.1);
+  // Linear data looks like a HUGE polylog exponent over this range —
+  // the discriminator the benches rely on.
+  const PolylogFit lf = fit_access_growth(n, linear_y);
+  EXPECT_GT(lf.exponent, 4.5);
+}
+
+TEST(Energy, LsbMeanAccessesWellBelowLifetime) {
+  // The whole point of low sensing: accesses per packet are a vanishing
+  // fraction of the packet's lifetime at scale.
+  const RunResult r = run_lsb_batch(2000, 6);
+  EXPECT_TRUE(r.drained);
+  EXPECT_LT(r.access_stats.mean(), 0.25 * r.latency_stats.mean());
+}
+
+}  // namespace
+}  // namespace lowsense

@@ -1,0 +1,160 @@
+// Unit tests for the Φ(t) potential tracker (§4.2) and its interval
+// decomposition (§4.3 / Theorem 5.18).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "metrics/potential.hpp"
+#include "protocols/low_sensing.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace lowsense {
+namespace {
+
+TEST(PotentialTracker, ZeroWhenEmpty) {
+  PotentialTracker phi;
+  EXPECT_DOUBLE_EQ(phi.phi(), 0.0);
+  EXPECT_DOUBLE_EQ(phi.term_l(), 0.0);
+  EXPECT_DOUBLE_EQ(phi.w_max(), 0.0);
+}
+
+TEST(PotentialTracker, SinglePacketTerms) {
+  PotentialParams params;
+  PotentialTracker phi(params);
+  LowSensingBackoff proto;
+  phi.on_arrival(0, 0, proto);
+
+  const double w = proto.window();
+  const double lnw = std::log(w);
+  EXPECT_DOUBLE_EQ(phi.term_n(), 1.0);
+  EXPECT_NEAR(phi.term_h(), 1.0 / lnw, 1e-12);
+  EXPECT_NEAR(phi.term_l(), w / (lnw * lnw), 1e-12);
+  EXPECT_NEAR(phi.phi(),
+              params.alpha1 + params.alpha2 / lnw + params.alpha3 * w / (lnw * lnw), 1e-9);
+}
+
+TEST(PotentialTracker, ArrivalIncreasesPhiByTheta1) {
+  // §4.2: each arrival changes Φ by Θ(1) — specifically by
+  // α1 + α2/ln(w_min) as long as w_max does not change.
+  PotentialParams params;
+  PotentialTracker phi(params);
+  LowSensingBackoff a, b;
+  phi.on_arrival(0, 0, a);
+  const double before = phi.phi();
+  phi.on_arrival(0, 1, b);
+  const double delta = phi.phi() - before;
+  EXPECT_NEAR(delta, params.alpha1 + params.alpha2 / std::log(a.window()), 1e-9);
+}
+
+TEST(PotentialTracker, DepartureRestoresEmptyState) {
+  PotentialTracker phi;
+  LowSensingBackoff proto;
+  phi.on_arrival(0, 0, proto);
+  phi.on_departure(5, 0, 0, 3, 1, proto.window());
+  EXPECT_DOUBLE_EQ(phi.phi(), 0.0);
+  EXPECT_DOUBLE_EQ(phi.term_h(), 0.0);
+  EXPECT_DOUBLE_EQ(phi.w_max(), 0.0);
+}
+
+TEST(PotentialTracker, WindowChangeMovesWmax) {
+  PotentialTracker phi;
+  LowSensingBackoff a, b;
+  phi.on_arrival(0, 0, a);
+  phi.on_arrival(0, 1, b);
+  const double w0 = a.window();
+  phi.on_window_change(1, 0, w0, 100.0);
+  EXPECT_DOUBLE_EQ(phi.w_max(), 100.0);
+  phi.on_window_change(2, 0, 100.0, w0);
+  EXPECT_DOUBLE_EQ(phi.w_max(), w0);
+}
+
+TEST(PotentialTracker, HIsSumOfInverseLogs) {
+  PotentialTracker phi;
+  LowSensingBackoff a, b, c;
+  phi.on_arrival(0, 0, a);
+  phi.on_arrival(0, 1, b);
+  phi.on_arrival(0, 2, c);
+  phi.on_window_change(1, 0, a.window(), 50.0);
+  phi.on_window_change(1, 1, b.window(), 200.0);
+  const double expected =
+      1.0 / std::log(50.0) + 1.0 / std::log(200.0) + 1.0 / std::log(c.window());
+  EXPECT_NEAR(phi.term_h(), expected, 1e-12);
+}
+
+// ----------------------------------------------------- end-to-end runs
+
+RunResult run_with_tracker(PotentialTracker& phi, std::uint64_t n, std::uint64_t seed,
+                           Jammer* jammer = nullptr) {
+  LowSensingFactory factory;
+  BatchArrivals arrivals(n);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = seed;
+  EventEngine engine(factory, arrivals, jammer ? *jammer : static_cast<Jammer&>(none), cfg);
+  engine.add_observer(&phi);
+  return engine.run();
+}
+
+TEST(PotentialTracker, PhiReturnsToZeroOnDrain) {
+  PotentialTracker phi;
+  const RunResult r = run_with_tracker(phi, 300, 7);
+  EXPECT_TRUE(r.drained);
+  EXPECT_DOUBLE_EQ(phi.phi(), 0.0);
+  EXPECT_NEAR(phi.term_h(), 0.0, 1e-9);
+}
+
+TEST(PotentialTracker, MaxPhiIsLinearInArrivals) {
+  // Corollary 5.22: Φ = O(N + J) throughout. Check Φ_max <= C·N for a
+  // generous constant across batch sizes.
+  for (std::uint64_t n : {100u, 400u, 1600u}) {
+    PotentialTracker phi;
+    run_with_tracker(phi, n, 11);
+    EXPECT_LT(phi.max_phi_seen(), 30.0 * static_cast<double>(n)) << n;
+    EXPECT_GT(phi.max_phi_seen(), 0.5 * static_cast<double>(n)) << n;
+  }
+}
+
+TEST(PotentialTracker, IntervalsPartitionTheRun) {
+  PotentialTracker phi;
+  run_with_tracker(phi, 500, 13);
+  const auto& ivs = phi.intervals();
+  ASSERT_GT(ivs.size(), 3u);
+  for (std::size_t i = 1; i < ivs.size(); ++i) {
+    ASSERT_GE(ivs[i].start, ivs[i - 1].end - 1);  // contiguous-ish (close at boundary)
+  }
+  for (const auto& iv : ivs) {
+    ASSERT_GE(iv.tau, 8.0);  // minimum interval length
+  }
+}
+
+TEST(PotentialTracker, MostIntervalsDecreasePhiAbsentArrivals) {
+  // Theorem 5.18 shape: with A = J = 0 inside an interval, Φ should drop
+  // in the majority of intervals (w.h.p. per interval, so allow a
+  // minority of exceptions in a finite sample).
+  PotentialTracker phi;
+  run_with_tracker(phi, 2000, 17);
+  int decreasing = 0, total = 0;
+  for (const auto& iv : phi.intervals()) {
+    if (iv.arrivals != 0) continue;  // batch: only the first interval has arrivals
+    ++total;
+    decreasing += iv.delta_phi() < 0.0;
+  }
+  ASSERT_GT(total, 5);
+  EXPECT_GT(static_cast<double>(decreasing) / total, 0.6);
+}
+
+TEST(PotentialTracker, JammedIntervalsAccountJams) {
+  PotentialTracker phi;
+  BurstJammer jammer(50, 10);
+  const RunResult r = run_with_tracker(phi, 200, 19, &jammer);
+  EXPECT_TRUE(r.drained);
+  std::uint64_t jam_sum = 0;
+  for (const auto& iv : phi.intervals()) jam_sum += iv.jams;
+  EXPECT_EQ(jam_sum, r.counters.jammed_active_slots);
+}
+
+}  // namespace
+}  // namespace lowsense

@@ -1,0 +1,107 @@
+// Unit tests for the slot-level trace capture.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "metrics/trace.hpp"
+#include "protocols/low_sensing.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace lowsense {
+namespace {
+
+RunResult run_with_trace(TraceCapture& trace, std::uint64_t n, std::uint64_t seed,
+                         Jammer* jammer = nullptr, bool slot_engine = false) {
+  LowSensingFactory factory;
+  BatchArrivals arrivals(n);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = seed;
+  Jammer& jam = jammer ? *jammer : static_cast<Jammer&>(none);
+  if (slot_engine) {
+    SlotEngine engine(factory, arrivals, jam, cfg);
+    engine.add_observer(&trace);
+    return engine.run();
+  }
+  EventEngine engine(factory, arrivals, jam, cfg);
+  engine.add_observer(&trace);
+  return engine.run();
+}
+
+TEST(TraceCapture, EventsCoverEveryActiveSlotExactlyOnce) {
+  TraceCapture trace;
+  const RunResult r = run_with_trace(trace, 100, 3);
+  std::uint64_t covered = 0;
+  Slot prev_end = 0;
+  bool first = true;
+  for (const auto& ev : trace.events()) {
+    covered += ev.span_end - ev.slot + 1;
+    if (!first) {
+      ASSERT_GT(ev.slot, prev_end);  // disjoint, ordered
+    }
+    prev_end = ev.span_end;
+    first = false;
+  }
+  EXPECT_EQ(covered, r.counters.active_slots);
+}
+
+TEST(TraceCapture, TallyMatchesRunCounters) {
+  TraceCapture trace;
+  BurstJammer jammer(100, 10);
+  const RunResult r = run_with_trace(trace, 200, 5, &jammer);
+  const auto t = trace.tally();
+  EXPECT_EQ(t.success, r.counters.successes);
+  EXPECT_EQ(t.jammed, r.counters.jammed_active_slots);
+  EXPECT_EQ(t.empty + t.success + t.collision + t.jammed + t.quiet, r.counters.active_slots);
+}
+
+TEST(TraceCapture, SlotEngineTallyMatchesEventEngine) {
+  TraceCapture a, b;
+  BurstJammer ja(50, 5), jb(50, 5);
+  run_with_trace(a, 80, 7, &ja, /*slot_engine=*/true);
+  run_with_trace(b, 80, 7, &jb, /*slot_engine=*/false);
+  const auto ta = a.tally(), tb = b.tally();
+  EXPECT_EQ(ta.success, tb.success);
+  EXPECT_EQ(ta.jammed, tb.jammed);
+  EXPECT_EQ(ta.collision, tb.collision);
+  // Slot engine has no spans: its quiet slots appear as 'empty'.
+  EXPECT_EQ(ta.empty, tb.empty + tb.quiet);
+}
+
+TEST(TraceCapture, CsvHasHeaderAndOneRowPerEvent) {
+  TraceCapture trace;
+  run_with_trace(trace, 20, 9);
+  const std::string csv = trace.to_csv();
+  std::size_t lines = 0;
+  for (char ch : csv) lines += ch == '\n';
+  EXPECT_EQ(lines, trace.events().size() + 1);
+  EXPECT_EQ(csv.rfind("slot,span_end", 0), 0u);
+}
+
+TEST(TraceCapture, BoundedRetentionDropsOldest) {
+  TraceCapture trace(64);
+  run_with_trace(trace, 500, 11);
+  EXPECT_LE(trace.events().size(), 64u);
+  EXPECT_GT(trace.dropped(), 0u);
+  // Events remain ordered after dropping.
+  for (std::size_t i = 1; i < trace.events().size(); ++i) {
+    ASSERT_GT(trace.events()[i].slot, trace.events()[i - 1].span_end);
+  }
+}
+
+TEST(TraceCapture, SuccessEventsHaveOneSender) {
+  TraceCapture trace;
+  run_with_trace(trace, 50, 13);
+  for (const auto& ev : trace.events()) {
+    if (ev.success) {
+      ASSERT_EQ(ev.senders, 1u);
+      ASSERT_FALSE(ev.jammed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lowsense

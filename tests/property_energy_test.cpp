@@ -1,0 +1,133 @@
+// Statistical property tests for the ENERGY theorems at test scale:
+//   * Thm 1.6 — per-packet accesses bounded by a polylog envelope, and the
+//     growth across N fits a polylog (not a power law).
+//   * Thm 1.9 — reactive jamming degrades per-victim but not average cost.
+//   * contrast — the short-feedback-loop MW baseline pays linear listens.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/energy.hpp"
+#include "protocols/registry.hpp"
+
+namespace lowsense {
+namespace {
+
+Scenario batch(const std::string& proto, std::uint64_t n) {
+  Scenario s;
+  s.protocol = [proto] { return make_protocol(proto); };
+  s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
+  return s;
+}
+
+TEST(Energy, MaxAccessesWithinLn4Envelope) {
+  // Theorem 5.25 rendered concrete: max accesses <= a·ln^4(N) + b with
+  // fixed (a, b) across the whole sweep — existence of constants is the
+  // theorem's content.
+  const double a = 2.0, b = 50.0;
+  for (std::uint64_t n : {64u, 256u, 1024u, 4096u}) {
+    const Replicates reps = replicate(batch("low-sensing", n), 5, 21);
+    EXPECT_LT(reps.max_accesses().max, ln4_envelope(static_cast<double>(n), a, b)) << "n=" << n;
+  }
+}
+
+TEST(Energy, AccessGrowthIsPolylogNotPowerLaw) {
+  std::vector<double> ns, mean_acc;
+  for (std::uint64_t n : {128u, 512u, 2048u, 8192u, 32768u}) {
+    const Replicates reps = replicate(batch("low-sensing", n), 3, 33);
+    ns.push_back(static_cast<double>(n));
+    mean_acc.push_back(reps.mean_accesses().median);
+  }
+  // Power-law fit exponent well below linear; a straight line (slope 1 in
+  // log-log) would indicate Θ(N). Polylog growth at these scales shows an
+  // effective power exponent ~0.3-0.4 that shrinks with N; the MW baseline
+  // sits at ~1.0, so 0.45 separates the two regimes cleanly.
+  const PolylogFit power = fit_power(ns, mean_acc);
+  EXPECT_LT(power.exponent, 0.45);
+  // Polylog fit with a sane exponent (paper bound: <= 4) and good fit.
+  const PolylogFit poly = fit_polylog(ns, mean_acc);
+  EXPECT_LT(poly.exponent, 4.5);
+  EXPECT_GT(poly.r2, 0.9);
+}
+
+TEST(Energy, MwFullSensingPaysLinearListens) {
+  // The contrast class: listening every slot means per-packet accesses
+  // scale with the makespan, i.e. linearly in N.
+  std::vector<double> ns, mean_acc;
+  for (std::uint64_t n : {128u, 512u, 2048u}) {
+    const Replicates reps = replicate(batch("mw-full-sensing", n), 3, 44);
+    ns.push_back(static_cast<double>(n));
+    mean_acc.push_back(reps.mean_accesses().median);
+  }
+  const PolylogFit power = fit_power(ns, mean_acc);
+  EXPECT_GT(power.exponent, 0.8);  // ~linear
+}
+
+TEST(Energy, LsbCheaperThanMwAtScale) {
+  const double lsb = replicate(batch("low-sensing", 4096), 3, 55).mean_accesses().median;
+  const double mw = replicate(batch("mw-full-sensing", 4096), 3, 55).mean_accesses().median;
+  EXPECT_LT(lsb, mw / 4.0);
+}
+
+TEST(Energy, JammingCostsOnlyPolylogExtra) {
+  // Thm 1.6 with J > 0: jamming J ~ N slots must not blow accesses past
+  // the polylog envelope in N + J.
+  const std::uint64_t n = 2048;
+  Scenario s = batch("low-sensing", n);
+  s.jammer = [](std::uint64_t seed) {
+    return std::make_unique<RandomJammer>(0.25, 0, Rng::stream(seed, 9));
+  };
+  const Replicates reps = replicate(s, 4, 66);
+  for (const auto& r : reps.runs) {
+    ASSERT_TRUE(r.drained);
+    const double nj = static_cast<double>(n + r.counters.jammed_active_slots);
+    EXPECT_LT(static_cast<double>(r.max_accesses), ln4_envelope(nj, 2.0, 50.0));
+  }
+}
+
+TEST(Energy, ReactiveVictimPaysLinearInJamsButOthersDoNot) {
+  // Theorem 1.9 shape at small scale: jam budget T against one victim
+  // forces ~T extra sends on the victim, while the AVERAGE across packets
+  // stays near the unjammed cost.
+  const std::uint64_t n = 256;
+  struct VictimProbe final : Observer {
+    std::uint64_t victim_accesses = 0;
+    void on_departure(Slot, PacketId id, Slot, std::uint64_t accesses, std::uint64_t,
+                      double) override {
+      if (id == 0) victim_accesses = accesses;
+    }
+  };
+
+  Scenario base = batch("low-sensing", n);
+  const double unjammed_mean = replicate(base, 4, 77).mean_accesses().median;
+
+  Scenario attacked = batch("low-sensing", n);
+  const std::uint64_t budget = 64;
+  attacked.jammer = [budget](std::uint64_t) {
+    return std::make_unique<ReactiveVictimJammer>(0, budget);
+  };
+  VictimProbe probe;
+  const RunResult r = run_scenario(attacked, 78, {&probe});
+  ASSERT_TRUE(r.drained);
+  // The victim's sends must exceed the jam budget (each jam blocks one),
+  // so its access count is at least `budget`.
+  EXPECT_GE(probe.victim_accesses, budget);
+  // Everyone else barely notices: mean accesses within 3x of unjammed.
+  EXPECT_LT(r.mean_accesses(), 3.0 * unjammed_mean);
+}
+
+TEST(Energy, SendsArePolylogToo) {
+  // Sending efficiency specifically (most prior work optimizes only this).
+  for (std::uint64_t n : {256u, 4096u}) {
+    const Replicates reps = replicate(batch("low-sensing", n), 3, 88);
+    const Summary sends = reps.summarize(
+        [](const RunResult& r) { return r.send_stats.mean(); });
+    EXPECT_LT(sends.median, std::pow(std::log(static_cast<double>(n)), 2.0)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace lowsense

@@ -1,0 +1,183 @@
+// Property tests: model invariants that must hold on EVERY run, checked
+// across a parameterized grid of protocol × workload × jamming × seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "protocols/low_sensing.hpp"
+#include "protocols/registry.hpp"
+#include "sim/event_engine.hpp"
+
+namespace lowsense {
+namespace {
+
+struct PropCase {
+  std::string protocol;
+  std::string workload;  // "batch" | "poisson" | "aqt"
+  double jam_rate;
+  std::uint64_t seed;
+};
+
+void PrintTo(const PropCase& c, std::ostream* os) {
+  *os << c.protocol << "/" << c.workload << "/jam" << c.jam_rate << "/s" << c.seed;
+}
+
+/// Observer asserting slot-level invariants as the run unfolds.
+struct InvariantChecker final : Observer {
+  std::uint64_t last_active_slots = 0;
+  std::uint64_t windows_below_min = 0;
+  std::uint64_t bad_feedback = 0;
+  std::uint64_t successes_seen = 0;
+
+  void on_slot(const SlotInfo& info, const Counters& c) override {
+    // Active slots strictly increase, one per resolved slot.
+    EXPECT_EQ(c.active_slots, last_active_slots + 1);
+    last_active_slots = c.active_slots;
+    // Feedback classification is forced by (senders, jammed).
+    if (info.jammed || info.senders >= 2) {
+      bad_feedback += info.feedback != Feedback::kNoisy;
+      bad_feedback += info.success;
+    } else if (info.senders == 1) {
+      bad_feedback += info.feedback != Feedback::kSuccess;
+      bad_feedback += !info.success;
+    } else {
+      bad_feedback += info.feedback != Feedback::kEmpty;
+      bad_feedback += info.success;
+    }
+    successes_seen += info.success;
+    // Departures never exceed arrivals; backlog is their difference.
+    EXPECT_LE(c.successes, c.arrivals);
+    EXPECT_EQ(c.backlog, c.arrivals - c.successes);
+    EXPECT_GE(c.contention, -1e-9);
+  }
+
+  void on_quiet_span(Slot from, Slot to, std::uint64_t jams, const Counters& c) override {
+    EXPECT_LE(from, to);
+    EXPECT_LE(jams, to - from + 1);
+    EXPECT_GE(c.active_slots, last_active_slots);
+    last_active_slots = c.active_slots;
+  }
+
+  void on_window_change(Slot, PacketId, double, double new_w) override {
+    windows_below_min += new_w < 2.0;
+  }
+};
+
+class ModelInvariants : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(ModelInvariants, HoldThroughoutExecution) {
+  const PropCase c = GetParam();
+  auto factory = make_protocol(c.protocol);
+  ASSERT_NE(factory, nullptr);
+
+  std::unique_ptr<ArrivalProcess> arrivals;
+  if (c.workload == "batch") {
+    arrivals = std::make_unique<BatchArrivals>(150);
+  } else if (c.workload == "poisson") {
+    arrivals = std::make_unique<PoissonArrivals>(0.1, 150, Rng(c.seed ^ 0xabc));
+  } else {
+    arrivals = std::make_unique<AqtArrivals>(0.2, 64, AqtPattern::kFront, 150, Rng(c.seed ^ 0xdef));
+  }
+  std::unique_ptr<Jammer> jammer;
+  if (c.jam_rate > 0.0) {
+    jammer = std::make_unique<RandomJammer>(c.jam_rate, 0, Rng(c.seed ^ 0x123));
+  } else {
+    jammer = std::make_unique<NoJammer>();
+  }
+
+  RunConfig cfg;
+  cfg.seed = c.seed;
+  cfg.max_active_slots = 200000;  // bound heavy-jam cases
+
+  InvariantChecker checker;
+  EventEngine engine(*factory, *arrivals, *jammer, cfg);
+  engine.add_observer(&checker);
+  const RunResult r = engine.run();
+
+  EXPECT_EQ(checker.bad_feedback, 0u);
+  EXPECT_EQ(checker.windows_below_min, 0u);
+  EXPECT_EQ(checker.successes_seen, r.counters.successes);
+
+  // Result-level invariants.
+  EXPECT_LE(r.counters.successes, r.counters.arrivals);
+  EXPECT_LE(r.counters.jammed_active_slots, r.counters.active_slots);
+  EXPECT_GE(r.counters.active_slots, r.counters.successes);
+  EXPECT_LE(r.counters.backlog, r.peak_backlog);
+  EXPECT_GE(r.access_stats.sum(), r.send_stats.sum());
+  if (r.drained) {
+    EXPECT_EQ(r.counters.backlog, 0u);
+    EXPECT_EQ(r.counters.successes, r.counters.arrivals);
+    // Throughput with jam credit is at most 1 and positive.
+    EXPECT_LE(r.throughput(), 1.0 + 1e-9);
+    EXPECT_GT(r.throughput(), 0.0);
+  }
+  // Implicit throughput bounded by (N+J)/max(N, ...): sanity range.
+  EXPECT_GT(r.implicit_throughput(), 0.0);
+}
+
+std::vector<PropCase> prop_cases() {
+  std::vector<PropCase> cases;
+  for (const char* proto : {"low-sensing", "binary-exponential", "mw-full-sensing"}) {
+    for (const char* wl : {"batch", "poisson", "aqt"}) {
+      for (double jam : {0.0, 0.2}) {
+        for (std::uint64_t seed : {3ULL, 17ULL}) cases.push_back({proto, wl, jam, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ModelInvariants, ::testing::ValuesIn(prop_cases()));
+
+// ------------------------------------------------ LSB-specific properties
+
+class LsbSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LsbSeedSweep, WindowNeverBelowWmin) {
+  struct MinWindow final : Observer {
+    double lowest = 1e300;
+    void on_window_change(Slot, PacketId, double, double new_w) override {
+      lowest = std::min(lowest, new_w);
+    }
+  } probe;
+
+  LowSensingFactory factory;
+  BatchArrivals arrivals(100);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = GetParam();
+  EventEngine engine(factory, arrivals, none, cfg);
+  engine.add_observer(&probe);
+  engine.run();
+  EXPECT_GE(probe.lowest, LowSensingParams{}.w_min - 1e-9);
+}
+
+TEST_P(LsbSeedSweep, EnergyCountersMonotonePerPacket) {
+  // accesses >= sends >= 1 for every departed packet.
+  struct PerPacket final : Observer {
+    std::uint64_t violations = 0;
+    void on_departure(Slot, PacketId, Slot, std::uint64_t accesses, std::uint64_t sends,
+                      double) override {
+      violations += sends < 1 || accesses < sends;
+    }
+  } probe;
+
+  LowSensingFactory factory;
+  BatchArrivals arrivals(100);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = GetParam();
+  EventEngine engine(factory, arrivals, none, cfg);
+  engine.add_observer(&probe);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(probe.violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsbSeedSweep, ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace lowsense

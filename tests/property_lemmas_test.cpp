@@ -1,0 +1,220 @@
+// Monte-Carlo verification of the paper's core analysis lemmas, checked
+// directly against the simulator's primitives:
+//   * Lemmas 5.1–5.3 — slot-outcome probabilities as functions of
+//     contention C(t):  C·e^{-2C} <= p_suc <= 2C·e^{-C},
+//     e^{-2C} <= p_emp <= e^{-C},  p_noi >= 1 - (2C+1)e^{-C}.
+//   * Lemma 5.13/5.15 — a packet's window is unlikely to move by a large
+//     factor within an interval matched to its size.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "core/rng.hpp"
+#include "protocols/fixed_probability.hpp"
+#include "protocols/low_sensing.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace lowsense {
+namespace {
+
+/// Empirical slot-outcome distribution for n iid senders at probability p
+/// (so C = n*p exactly), measured on the REAL slot engine by pinning
+/// windows via FixedProbability and counting outcomes over a horizon.
+struct OutcomeFreq {
+  double p_suc = 0.0, p_emp = 0.0, p_noi = 0.0;
+};
+
+OutcomeFreq measure_outcomes(std::uint64_t n, double p, std::uint64_t slots, std::uint64_t seed) {
+  struct Tally final : Observer {
+    std::uint64_t suc = 0, emp = 0, noi = 0, total = 0;
+    void on_slot(const SlotInfo& info, const Counters&) override {
+      ++total;
+      if (info.success) {
+        ++suc;
+      } else if (info.feedback == Feedback::kEmpty) {
+        ++emp;
+      } else {
+        ++noi;
+      }
+    }
+  } tally;
+
+  // FixedProbability packets never depart... except a lone success does.
+  // To keep the population at n, count only slots while backlog == n by
+  // bounding the horizon: we stop the run before too many departures by
+  // measuring success-free prefixes across many short runs instead.
+  // Simpler: use a huge n of packets and subtract — in practice, with
+  // p = C/n, successes remove one packet each; we re-run whenever the
+  // population drops. Short segments keep the bias negligible.
+  std::uint64_t done = 0;
+  std::uint64_t salt = 0;
+  while (done < slots) {
+    FixedProbabilityFactory factory(p);
+    BatchArrivals arrivals(n);
+    NoJammer none;
+    RunConfig cfg;
+    cfg.seed = seed + 1000 * salt++;
+    // Segments must be SHORT: successes deplete the population and bias
+    // the outcome frequencies away from the pinned contention C = n*p.
+    cfg.max_active_slots = std::min<std::uint64_t>(8, slots - done);
+    SlotEngine engine(factory, arrivals, none, cfg);
+    engine.add_observer(&tally);
+    engine.run();
+    done = tally.total;
+  }
+  OutcomeFreq f;
+  f.p_suc = static_cast<double>(tally.suc) / static_cast<double>(tally.total);
+  f.p_emp = static_cast<double>(tally.emp) / static_cast<double>(tally.total);
+  f.p_noi = static_cast<double>(tally.noi) / static_cast<double>(tally.total);
+  return f;
+}
+
+class ContentionRegimes : public ::testing::TestWithParam<double> {};
+
+TEST_P(ContentionRegimes, Lemma51SuccessProbabilityBounds) {
+  const double c_target = GetParam();
+  const std::uint64_t n = 64;
+  const double p = c_target / static_cast<double>(n);
+  const OutcomeFreq f = measure_outcomes(n, p, 40000, 17);
+  // Lemma 5.1 (the segment-restart bias slightly depletes the population,
+  // so allow a modest tolerance on the lower bound).
+  EXPECT_GE(f.p_suc, 0.85 * c_target * std::exp(-2.0 * c_target)) << "C=" << c_target;
+  EXPECT_LE(f.p_suc, 1.1 * 2.0 * c_target * std::exp(-c_target)) << "C=" << c_target;
+}
+
+TEST_P(ContentionRegimes, Lemma52EmptyProbabilityBounds) {
+  const double c_target = GetParam();
+  const std::uint64_t n = 64;
+  const double p = c_target / static_cast<double>(n);
+  const OutcomeFreq f = measure_outcomes(n, p, 40000, 29);
+  EXPECT_GE(f.p_emp, 0.9 * std::exp(-2.0 * c_target)) << "C=" << c_target;
+  // Depletion makes empties slightly MORE likely; tolerate 15%.
+  EXPECT_LE(f.p_emp, 1.15 * std::exp(-c_target)) << "C=" << c_target;
+}
+
+TEST_P(ContentionRegimes, Lemma53NoisyProbabilityLowerBound) {
+  const double c_target = GetParam();
+  const std::uint64_t n = 64;
+  const double p = c_target / static_cast<double>(n);
+  const OutcomeFreq f = measure_outcomes(n, p, 40000, 41);
+  const double bound = 1.0 - 2.0 * c_target * std::exp(-c_target) - std::exp(-c_target);
+  if (bound > 0.0) {
+    EXPECT_GE(f.p_noi, 0.85 * bound) << "C=" << c_target;
+  } else {
+    SUCCEED();  // bound vacuous in this regime
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Contention, ContentionRegimes,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+// ------------------------------------------------- window growth tails
+
+/// Simulates one LSB packet alone against a channel that is noisy with
+/// probability q and empty otherwise, for `slots` slots; returns the max
+/// |ln(w/W0)| excursion.
+double window_excursion(double w0, double q, std::uint64_t slots, Rng& rng) {
+  LowSensingParams params;
+  params.w_min = 16.0;
+  LowSensingBackoff lsb(params);
+  // Walk the window up to w0 via noisy observations.
+  while (lsb.window() < w0) lsb.on_observation({Feedback::kNoisy, false});
+  const double start = lsb.window();
+  double peak = 0.0;
+  for (std::uint64_t t = 0; t < slots; ++t) {
+    if (!rng.bernoulli(lsb.access_prob())) continue;
+    const Feedback f = rng.bernoulli(q) ? Feedback::kNoisy : Feedback::kEmpty;
+    lsb.on_observation({f, false});
+    peak = std::max(peak, std::fabs(std::log(lsb.window() / start)));
+  }
+  return peak;
+}
+
+TEST(WindowTails, Lemma515MatchedIntervalRarelyMovesLargeWindows) {
+  // W = 5000, interval τ = W/ln²(W) ≈ 69. A packet listens ~c·ln(W)
+  // times in expectation — enough to move the window by a constant
+  // factor, but excursions by e⁴ are tail events. (The lemma's
+  // quantitative bound assumes "large enough c"; with our practical
+  // c = 0.5 we verify the qualitative tail: typical excursion Θ(1),
+  // large excursions rare, even on fully one-sided channels where
+  // shrinking accelerates the listen rate.)
+  Rng rng(7);
+  const double w0 = 5000.0;
+  const double tau = w0 / std::pow(std::log(w0), 2.0);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    int big = 0;
+    const int trials = 2000;
+    std::vector<double> excursions;
+    for (int i = 0; i < trials; ++i) {
+      const double e = window_excursion(w0, q, static_cast<std::uint64_t>(tau), rng);
+      excursions.push_back(e);
+      big += e > 4.0;
+    }
+    std::sort(excursions.begin(), excursions.end());
+    EXPECT_LT(excursions[excursions.size() / 2], 1.6) << "q=" << q;   // typical: Θ(1)
+    EXPECT_LT(static_cast<double>(big) / trials, 0.10) << "q=" << q;  // e⁴: rare
+  }
+}
+
+TEST(WindowTails, Lemma513SmallWindowsRarelyOutgrowZ) {
+  // Starting at w_min over an interval of τ = 1000 slots of pure noise,
+  // the window drifts DETERMINISTICALLY up to ≈ Z, where Z solves
+  // Z/ln²(Z) = τ (listens thin out as w grows, and Z is precisely "the
+  // window matched to the interval", §5.3). Lemma 5.13's content is the
+  // upper tail: reaching k·Z for k >> 1 is vanishingly unlikely.
+  Rng rng(11);
+  // Solve Z/ln²Z = τ by fixed point.
+  const double tau = 1000.0;
+  double z = tau;
+  for (int i = 0; i < 60; ++i) z = tau * std::pow(std::log(std::max(z, 3.0)), 2.0);
+  int exceed = 0, reached_fraction = 0;
+  const int trials = 1000;
+  for (int i = 0; i < trials; ++i) {
+    LowSensingBackoff lsb;  // starts at w_min
+    for (std::uint64_t t = 0; t < static_cast<std::uint64_t>(tau); ++t) {
+      if (!rng.bernoulli(lsb.access_prob())) continue;
+      lsb.on_observation({Feedback::kNoisy, false});
+    }
+    exceed += lsb.window() > 8.0 * z;
+    reached_fraction += lsb.window() > z / 64.0;
+  }
+  // Upper tail essentially never fires...
+  EXPECT_LT(static_cast<double>(exceed) / trials, 0.02);
+  // ...while the typical trajectory really does climb to Θ(Z).
+  EXPECT_GT(static_cast<double>(reached_fraction) / trials, 0.9);
+}
+
+TEST(WindowTails, BalancedChannelHasNoRunawayDrift) {
+  // At q = 0.5 (equal noisy/empty), ln(w) performs a nearly balanced
+  // walk — the mechanism behind the 50%-jam stall observed in bench T3.
+  // It is not EXACTLY drift-free: the step size 1/(c·ln w) shrinks as w
+  // grows, which gives a mild stabilizing (state-dependent) drift. The
+  // property that matters is the absence of runaway in either direction.
+  Rng rng(13);
+  LowSensingParams params;
+  params.w_min = 16.0;
+  double sum_offset = 0.0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    LowSensingBackoff lsb(params);
+    while (lsb.window() < 1000.0) lsb.on_observation({Feedback::kNoisy, false});
+    const double start = lsb.window();
+    for (int t = 0; t < 500; ++t) {
+      if (!rng.bernoulli(lsb.access_prob())) continue;
+      lsb.on_observation({rng.bernoulli(0.5) ? Feedback::kNoisy : Feedback::kEmpty, false});
+    }
+    sum_offset += std::log(lsb.window() / start);
+  }
+  EXPECT_LT(std::fabs(sum_offset / trials), 1.0);
+  // Contrast: one-sided channels drift hard (sanity of the measurement).
+  LowSensingBackoff up(params);
+  for (int i = 0; i < 50; ++i) up.on_observation({Feedback::kNoisy, false});
+  EXPECT_GT(std::log(up.window() / params.w_min), 1.0);
+}
+
+}  // namespace
+}  // namespace lowsense

@@ -1,0 +1,127 @@
+// Unit + behavioural tests for the windowed Ethernet protocol and the
+// draw_gap extension point it exercises.
+#include <gtest/gtest.h>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "protocols/registry.hpp"
+#include "protocols/windowed_ethernet.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace lowsense {
+namespace {
+
+TEST(WindowedEthernet, GapIsUniformWithinWindow) {
+  WindowedEthernet eth;  // initial window 2
+  Rng rng(1);
+  int ones = 0, twos = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t g = eth.draw_gap(rng);
+    ASSERT_GE(g, 1u);
+    ASSERT_LE(g, 2u);
+    (g == 1 ? ones : twos)++;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / 20000.0, 0.5, 0.02);
+  EXPECT_GT(twos, 0);
+}
+
+TEST(WindowedEthernet, DoublesAndTruncates) {
+  WindowedEthernetParams p;
+  p.max_window = 16.0;
+  WindowedEthernet eth(p);
+  for (int i = 0; i < 10; ++i) eth.on_observation({Feedback::kNoisy, true});
+  EXPECT_DOUBLE_EQ(eth.window(), 16.0);
+  EXPECT_EQ(eth.collisions(), 10u);
+}
+
+TEST(WindowedEthernet, IgnoresOverheardTraffic) {
+  WindowedEthernet eth;
+  const double w = eth.window();
+  eth.on_observation({Feedback::kNoisy, false});
+  eth.on_observation({Feedback::kEmpty, false});
+  EXPECT_DOUBLE_EQ(eth.window(), w);
+}
+
+TEST(WindowedEthernet, AbortsAfterMaxAttempts) {
+  WindowedEthernetParams p;
+  p.max_attempts = 3;
+  WindowedEthernet eth(p);
+  Rng rng(2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(eth.draw_gap(rng), kNoSlot);
+    eth.on_observation({Feedback::kNoisy, true});
+  }
+  EXPECT_TRUE(eth.aborted());
+  EXPECT_EQ(eth.draw_gap(rng), kNoSlot);
+}
+
+TEST(WindowedEthernet, RegistryName) {
+  EXPECT_NE(make_protocol("windowed-ethernet"), nullptr);
+  EXPECT_NE(make_protocol("ethernet"), nullptr);
+}
+
+TEST(WindowedEthernet, BatchDrainsOnBothEngines) {
+  for (const bool use_slot : {false, true}) {
+    WindowedEthernetFactory factory;
+    BatchArrivals arrivals(100);
+    NoJammer none;
+    RunConfig cfg;
+    cfg.seed = 5;
+    cfg.max_active_slots = 1u << 22;
+    RunResult r;
+    if (use_slot) {
+      SlotEngine engine(factory, arrivals, none, cfg);
+      r = engine.run();
+    } else {
+      EventEngine engine(factory, arrivals, none, cfg);
+      r = engine.run();
+    }
+    EXPECT_TRUE(r.drained) << (use_slot ? "slot" : "event");
+    EXPECT_EQ(r.counters.successes, 100u);
+  }
+}
+
+TEST(WindowedEthernet, EnginesTraceEquivalent) {
+  // draw_gap overrides must preserve the slot/event equivalence.
+  auto run = [](auto&& make_engine) {
+    WindowedEthernetFactory factory;
+    BatchArrivals arrivals(64);
+    NoJammer none;
+    RunConfig cfg;
+    cfg.seed = 9;
+    auto engine = make_engine(factory, arrivals, none, cfg);
+    return engine.run();
+  };
+  const RunResult a = run([](auto& f, auto& ar, auto& j, auto& c) {
+    return SlotEngine(f, ar, j, c);
+  });
+  const RunResult b = run([](auto& f, auto& ar, auto& j, auto& c) {
+    return EventEngine(f, ar, j, c);
+  });
+  EXPECT_EQ(a.counters.active_slots, b.counters.active_slots);
+  EXPECT_EQ(a.counters.successes, b.counters.successes);
+  EXPECT_EQ(a.max_accesses, b.max_accesses);
+  EXPECT_DOUBLE_EQ(a.send_stats.sum(), b.send_stats.sum());
+}
+
+TEST(WindowedEthernet, AbortedPacketsStrandTheBacklog) {
+  // With a tiny attempt limit and heavy contention, some stations give
+  // up ("excessive collisions") and the system never drains — the
+  // documented 802.3 failure mode, visible in the model.
+  WindowedEthernetParams p;
+  p.max_attempts = 2;
+  WindowedEthernetFactory factory(p);
+  BatchArrivals arrivals(256);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 11;
+  cfg.max_slot = 200000;
+  EventEngine engine(factory, arrivals, none, cfg);
+  const RunResult r = engine.run();
+  EXPECT_FALSE(r.drained);
+  EXPECT_GT(r.counters.backlog, 0u);
+}
+
+}  // namespace
+}  // namespace lowsense

@@ -1,0 +1,157 @@
+// Contention bookkeeping: the engine's incrementally maintained
+// C(t) = Σ_u send_prob_u must track the ground truth (recomputed from
+// scratch) and, for LOW-SENSING BACKOFF with unclamped probabilities,
+// equal the paper's Σ_u 1/w_u exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "protocols/low_sensing.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace lowsense {
+namespace {
+
+TEST(Contention, BatchInitialContentionIsNOverWmin) {
+  // Immediately after a batch of N injections, C = N / w_min.
+  struct Probe final : Observer {
+    double first_contention = -1.0;
+    void on_slot(const SlotInfo&, const Counters& c) override {
+      if (first_contention < 0.0) first_contention = c.contention;
+    }
+  } probe;
+
+  LowSensingFactory factory;
+  BatchArrivals arrivals(64);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 5;
+  cfg.max_active_slots = 1;  // stop after the very first slot
+  EventEngine engine(factory, arrivals, none, cfg);
+  engine.add_observer(&probe);
+  engine.run();
+
+  const double w_min = LowSensingParams{}.w_min;
+  // The first slot's counters include that slot's own backoffs (most
+  // packets hear noise and shrink 1/w), so the observed value sits a
+  // multiplicative notch below N/w_min but the same order of magnitude.
+  EXPECT_LE(probe.first_contention, 64.0 / w_min + 1e-9);
+  EXPECT_GE(probe.first_contention, 64.0 / w_min * 0.4);
+}
+
+TEST(Contention, IncrementalMatchesRecomputeThroughoutRun) {
+  // Drive the slot engine manually via an observer that cross-checks the
+  // incremental contention against an O(n) recompute every slot.
+  struct CrossCheck final : Observer {
+    const detail::SimCore* core = nullptr;
+    double worst = 0.0;
+    void on_slot(const SlotInfo&, const Counters& c) override {
+      const double truth = core->recompute_contention();
+      worst = std::max(worst, std::fabs(truth - c.contention));
+    }
+  } check;
+
+  LowSensingFactory factory;
+  BatchArrivals arrivals(100);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 9;
+  SlotEngine engine(factory, arrivals, none, cfg);
+  check.core = &engine.core();
+  engine.add_observer(&check);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_LT(check.worst, 1e-9);
+}
+
+TEST(Contention, EqualsSumOfInverseWindows) {
+  // For LSB with unclamped probabilities, send_prob == 1/w, so the
+  // engine's contention is the paper's C(t) = Σ 1/w_u literally.
+  struct WindowSum final : Observer {
+    double sum_inv_w = 0.0;
+    double worst_gap = 0.0;
+    void on_arrival(Slot, PacketId, const Protocol& p) override { sum_inv_w += 1.0 / p.window(); }
+    void on_departure(Slot, PacketId, Slot, std::uint64_t, std::uint64_t, double w) override {
+      sum_inv_w -= 1.0 / w;
+    }
+    void on_window_change(Slot, PacketId, double old_w, double new_w) override {
+      sum_inv_w += 1.0 / new_w - 1.0 / old_w;
+    }
+    void on_slot(const SlotInfo&, const Counters& c) override {
+      worst_gap = std::max(worst_gap, std::fabs(sum_inv_w - c.contention));
+    }
+  } probe;
+
+  LowSensingFactory factory;
+  BatchArrivals arrivals(80);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 13;
+  SlotEngine engine(factory, arrivals, none, cfg);
+  engine.add_observer(&probe);
+  engine.run();
+  EXPECT_LT(probe.worst_gap, 1e-9);
+}
+
+TEST(Contention, DropsToZeroOnDrain) {
+  LowSensingFactory factory;
+  BatchArrivals arrivals(32);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 17;
+  EventEngine engine(factory, arrivals, none, cfg);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_NEAR(r.counters.contention, 0.0, 1e-9);
+}
+
+TEST(Contention, HighContentionSelfRegulates) {
+  // The multiplicative-weights loop must bring contention from N/w_min
+  // down into O(1) territory and keep it there (this is the mechanism
+  // behind Θ(1) throughput). Check that the long-run median contention on
+  // a big batch lies in a sane constant band.
+  struct Samples final : Observer {
+    std::vector<double> contentions;
+    void on_slot(const SlotInfo&, const Counters& c) override {
+      if (c.active_slots % 16 == 0) contentions.push_back(c.contention);
+    }
+  } probe;
+
+  LowSensingFactory factory;
+  BatchArrivals arrivals(2000);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 23;
+  EventEngine engine(factory, arrivals, none, cfg);
+  engine.add_observer(&probe);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.drained);
+  ASSERT_GT(probe.contentions.size(), 50u);
+  std::sort(probe.contentions.begin(), probe.contentions.end());
+  const double median = probe.contentions[probe.contentions.size() / 2];
+  EXPECT_GT(median, 0.05);
+  EXPECT_LT(median, 20.0);
+}
+
+TEST(Contention, JammingPushesContentionDown) {
+  // Persistent jamming makes listeners back off, so contention after a
+  // long fully jammed stretch must be far below the initial N/w_min.
+  LowSensingFactory factory;
+  BatchArrivals arrivals(100);
+  RandomJammer jammer(1.0, 0, Rng(3));
+  RunConfig cfg;
+  cfg.seed = 29;
+  cfg.max_active_slots = 20000;
+  EventEngine engine(factory, arrivals, jammer, cfg);
+  const RunResult r = engine.run();
+  const double initial = 100.0 / LowSensingParams{}.w_min;
+  EXPECT_LT(r.counters.contention, initial / 4.0);
+  EXPECT_EQ(r.counters.backlog, 100u);  // nobody ever succeeded
+}
+
+}  // namespace
+}  // namespace lowsense

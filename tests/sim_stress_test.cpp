@@ -1,0 +1,164 @@
+// Stress and failure-injection tests: pathological workloads, extreme
+// parameters, and cross-checks that the fast engine's span accounting
+// matches brute-force expectations statistically.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "protocols/low_sensing.hpp"
+#include "protocols/registry.hpp"
+#include "sim/event_engine.hpp"
+
+namespace lowsense {
+namespace {
+
+TEST(Stress, LargeBatchDrainsQuickly) {
+  // 50k packets: the event engine must handle this in well under test
+  // timeout; validates the O(accesses · log n) complexity claim.
+  LowSensingFactory factory;
+  BatchArrivals arrivals(50000);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 1;
+  EventEngine engine(factory, arrivals, none, cfg);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.counters.successes, 50000u);
+  EXPECT_GT(r.throughput(), 0.15);
+}
+
+TEST(Stress, ArrivalStormEverySlot) {
+  // One packet per slot for 5000 slots at rate 1.0 — far above any
+  // stable rate; the system must survive (bounded run) without
+  // violating invariants, even though backlog grows.
+  LowSensingFactory factory;
+  std::vector<ArrivalBurst> bursts;
+  for (Slot t = 0; t < 5000; ++t) bursts.push_back({t, 1});
+  ScheduleArrivals arrivals(std::move(bursts));
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 2;
+  cfg.max_active_slots = 20000;
+  EventEngine engine(factory, arrivals, none, cfg);
+  const RunResult r = engine.run();
+  EXPECT_LE(r.counters.successes, r.counters.arrivals);
+  EXPECT_GT(r.counters.successes, 1000u);  // still makes steady progress
+}
+
+TEST(Stress, MegaBurstThenSilence) {
+  // A single 20k burst: peak backlog equals the burst, drains fully.
+  LowSensingFactory factory;
+  BatchArrivals arrivals(20000);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 3;
+  EventEngine engine(factory, arrivals, none, cfg);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.peak_backlog, 20000u);
+}
+
+TEST(Stress, AlternatingJamAndQuietEpochs) {
+  // Square-wave jamming (25% duty cycle, long period) — the protocol
+  // must ratchet through the quiet stretches. (At >= 50% duty the
+  // back-off/back-on drifts balance and drain stalls — that regime is
+  // measured, not drained, in bench T3.)
+  LowSensingFactory factory;
+  BatchArrivals arrivals(2000);
+  BurstJammer jammer(20000, 5000);
+  RunConfig cfg;
+  cfg.seed = 4;
+  cfg.max_active_slots = 3000000;
+  EventEngine engine(factory, arrivals, jammer, cfg);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.drained);
+}
+
+TEST(Stress, ExtremeParamsTinyC) {
+  LowSensingParams p;
+  p.c = 0.05;
+  p.w_min = 8.0;
+  ASSERT_TRUE(p.valid());
+  LowSensingFactory factory(p);
+  BatchArrivals arrivals(500);
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 5;
+  cfg.max_active_slots = 2000000;
+  EventEngine engine(factory, arrivals, none, cfg);
+  const RunResult r = engine.run();
+  // Tiny c makes the feedback loop glacial but must stay correct.
+  EXPECT_EQ(r.counters.successes + r.counters.backlog, 500u);
+}
+
+TEST(Stress, SingletonArrivalsWithHugeGaps) {
+  // Packets arriving alone, separated by millions of slots: every one
+  // must complete in a handful of active slots (inactive time is free),
+  // exercising the inactive-skip logic at scale.
+  LowSensingFactory factory;
+  std::vector<ArrivalBurst> bursts;
+  for (int i = 0; i < 50; ++i) {
+    bursts.push_back({static_cast<Slot>(i) * 10000000ULL, 1});
+  }
+  ScheduleArrivals arrivals(std::move(bursts));
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 6;
+  EventEngine engine(factory, arrivals, none, cfg);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_LT(r.counters.active_slots, 50u * 400u);
+  EXPECT_GT(r.counters.slot, 400000000ULL);  // absolute time really advanced
+}
+
+TEST(Stress, JammerBudgetExactlyExhausted) {
+  // Budgeted full-rate jamming: once the budget is gone the system must
+  // recover and drain; total jams == budget exactly.
+  LowSensingFactory factory;
+  BatchArrivals arrivals(300);
+  RandomJammer jammer(1.0, 5000, Rng(7));
+  RunConfig cfg;
+  cfg.seed = 7;
+  EventEngine engine(factory, arrivals, jammer, cfg);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.jams_total, 5000u);
+}
+
+TEST(Stress, ManySmallBatchesReuseEngineStateCorrectly) {
+  // Repeated activity/inactivity cycles: counters must accumulate
+  // monotonically across cycles with no leakage between them.
+  LowSensingFactory factory;
+  std::vector<ArrivalBurst> bursts;
+  for (int i = 0; i < 20; ++i) bursts.push_back({static_cast<Slot>(i) * 100000ULL, 50});
+  ScheduleArrivals arrivals(std::move(bursts));
+  NoJammer none;
+  RunConfig cfg;
+  cfg.seed = 8;
+  EventEngine engine(factory, arrivals, none, cfg);
+  const RunResult r = engine.run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.counters.successes, 1000u);
+  EXPECT_LE(r.peak_backlog, 50u);
+}
+
+TEST(Stress, WindowGrowthBoundedUnderPermanentJam) {
+  // Under permanent jamming the window grows, but only polynomially in
+  // elapsed active slots (each growth step needs a listen, and listens
+  // get rarer as w grows) — guards against runaway float overflow.
+  LowSensingFactory factory;
+  BatchArrivals arrivals(10);
+  RandomJammer jammer(1.0, 0, Rng(9));
+  RunConfig cfg;
+  cfg.seed = 9;
+  cfg.max_active_slots = 1000000;
+  EventEngine engine(factory, arrivals, jammer, cfg);
+  const RunResult r = engine.run();
+  EXPECT_LT(r.max_window_seen, 1e12);
+  EXPECT_GT(r.max_window_seen, 1000.0);
+}
+
+}  // namespace
+}  // namespace lowsense
