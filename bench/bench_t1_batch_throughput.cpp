@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
 #include "protocols/registry.hpp"
@@ -48,6 +49,9 @@ int main(int argc, char** argv) {
   const unsigned hi = static_cast<unsigned>(args.u64("hi_exp", 15));
   const int reps = static_cast<int>(args.u64("reps", 5));
   const std::uint64_t seed = args.u64("seed", 1);
+  // --threads=0 means "use every core"; 1 (default) is the serial path.
+  const unsigned threads =
+      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
 
   report_header("T1", "Cor 1.4 + [23]",
                 "LSB: Theta(1) batch throughput; BEB: O(1/ln N); crossover early");
@@ -67,7 +71,7 @@ int main(int argc, char** argv) {
       }
       const int r = std::string(proto) == "binary-exponential" && n > 8192 ? std::max(reps / 2, 2)
                                                                            : reps;
-      const Replicates result = replicate(batch_scenario(proto, n), r, seed);
+      const Replicates result = replicate_parallel(batch_scenario(proto, n), r, threads, seed);
       const double tp = result.throughput().median;
       row.push_back(Table::num(tp, 3));
       if (std::string(proto) == "low-sensing") {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
 #include "metrics/energy.hpp"
@@ -37,6 +38,9 @@ int main(int argc, char** argv) {
   const unsigned hi = static_cast<unsigned>(args.u64("hi_exp", 15));
   const int reps = static_cast<int>(args.u64("reps", 5));
   const std::uint64_t seed = args.u64("seed", 2);
+  // --threads=0 means "use every core"; 1 (default) is the serial path.
+  const unsigned threads =
+      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
 
   report_header("T2", "Thm 1.6 / 5.25",
                 "LSB: O(ln^4 N) channel accesses per packet; MW pays Theta(N) listens");
@@ -45,16 +49,16 @@ int main(int argc, char** argv) {
   std::vector<double> ns, lsb_mean, lsb_max, mw_mean;
 
   for (std::uint64_t n : pow2_sweep(lo, hi)) {
-    const Replicates lsb = replicate(batch_scenario("low-sensing", n), reps, seed);
+    const Replicates lsb = replicate_parallel(batch_scenario("low-sensing", n), reps, threads, seed);
     // MW is O(N) per-packet * N packets = O(N^2) work in the engine;
     // cap its sweep to keep runtime sane (its linear growth is already
     // unambiguous well before the cap).
     const bool mw_ok = n <= 4096;
-    const Replicates mw = mw_ok ? replicate(batch_scenario("mw-full-sensing", n),
-                                            std::max(reps / 2, 2), seed)
+    const Replicates mw = mw_ok ? replicate_parallel(batch_scenario("mw-full-sensing", n),
+                                                     std::max(reps / 2, 2), threads, seed)
                                 : Replicates{};
-    const Replicates beb = replicate(batch_scenario("binary-exponential", n),
-                                     std::max(reps / 2, 2), seed);
+    const Replicates beb = replicate_parallel(batch_scenario("binary-exponential", n),
+                                              std::max(reps / 2, 2), threads, seed);
 
     const double l4 = std::pow(std::log(static_cast<double>(n)), 4.0);
     ns.push_back(static_cast<double>(n));

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/report.hpp"
 #include "protocols/low_sensing.hpp"
 
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
   const std::uint64_t n = args.u64("n", 4096);
   const int reps = static_cast<int>(args.u64("reps", 5));
   const std::uint64_t seed = args.u64("seed", 9);
+  // --threads=0 means "use every core"; 1 (default) is the serial path.
+  const unsigned threads =
+      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
 
   report_header("T9", "§3 ablations",
                 "throughput robust across c and w_min; the ln^3 listen boost buys "
@@ -58,7 +62,7 @@ int main(int argc, char** argv) {
     p.listen_exponent = e;
     // Keep c*ln^e(w_min) <= w_min so probabilities stay unclamped.
     p.w_min = e >= 4 ? 64.0 : 16.0;
-    const Replicates r = replicate(lsb_scenario(p, n), reps, seed);
+    const Replicates r = replicate_parallel(lsb_scenario(p, n), reps, threads, seed);
     bool drained = true;
     for (const auto& run : r.runs) drained &= run.drained;
     const Summary lat = r.summarize([](const RunResult& rr) {
@@ -86,7 +90,7 @@ int main(int argc, char** argv) {
     p.c = c;
     // Unclamped listen prob needs c*ln^3(w_min) <= w_min.
     p.w_min = c <= 0.5 ? 16.0 : (c <= 1.0 ? 128.0 : 2048.0);
-    const Replicates r = replicate(lsb_scenario(p, n), reps, seed);
+    const Replicates r = replicate_parallel(lsb_scenario(p, n), reps, threads, seed);
     tp_by_c.push_back(r.throughput().median);
     tc.add_row({Table::num(c, 3), Table::num(r.throughput().median, 3),
                 Table::num(r.mean_accesses().median, 4),
@@ -105,7 +109,7 @@ int main(int argc, char** argv) {
       p.w_min = w;
       p.c = 0.25;  // keeps c*ln^3(w_min) <= w_min down to w_min=8
       p.backon_floor = floor_on;
-      const Replicates r = replicate(lsb_scenario(p, n), reps, seed);
+      const Replicates r = replicate_parallel(lsb_scenario(p, n), reps, threads, seed);
       if (floor_on) tp_by_w.push_back(r.throughput().median);
       const Summary wmax = r.summarize([](const RunResult& rr) { return rr.max_window_seen; });
       tw.add_row({Table::num(w, 4), floor_on ? "on" : "off",
@@ -128,7 +132,7 @@ int main(int argc, char** argv) {
     const std::uint64_t n_fb = n / 4;
     Scenario sc = lsb_scenario(p, n_fb);
     sc.config.max_active_slots = 100ULL * n_fb;
-    const Replicates r = replicate(sc, std::max(reps / 2, 2), seed);
+    const Replicates r = replicate_parallel(sc, std::max(reps / 2, 2), threads, seed);
     const Summary delivered = r.summarize([](const RunResult& rr) {
       return static_cast<double>(rr.counters.successes);
     });

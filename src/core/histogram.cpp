@@ -38,6 +38,9 @@ double LogHistogram::bucket_lo(std::size_t i) const {
 double LogHistogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // A target of 0 would match the first non-empty bucket's midpoint,
+  // which can exceed the true minimum; q=0 is exactly min by definition.
+  if (q == 0.0) return min_;
   const double target = q * static_cast<double>(total_);
   double seen = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {

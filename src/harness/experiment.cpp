@@ -55,6 +55,24 @@ Summary Replicates::peak_backlog() const {
   return summarize([](const RunResult& r) { return static_cast<double>(r.peak_backlog); });
 }
 
+StreamingStats Replicates::merged_access_stats() const {
+  StreamingStats s;
+  for (const auto& r : runs) s.merge(r.access_stats);
+  return s;
+}
+
+StreamingStats Replicates::merged_send_stats() const {
+  StreamingStats s;
+  for (const auto& r : runs) s.merge(r.send_stats);
+  return s;
+}
+
+StreamingStats Replicates::merged_latency_stats() const {
+  StreamingStats s;
+  for (const auto& r : runs) s.merge(r.latency_stats);
+  return s;
+}
+
 Replicates replicate(const Scenario& scenario, int reps, std::uint64_t base_seed) {
   Replicates out;
   out.runs.reserve(static_cast<std::size_t>(reps));

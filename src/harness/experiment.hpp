@@ -53,6 +53,14 @@ struct Replicates {
   Summary mean_accesses() const;
   Summary max_accesses() const;
   Summary peak_backlog() const;
+
+  /// Pooled per-packet accumulators across all replicates, built with
+  /// StreamingStats::merge. Unlike the Summary methods (one value per
+  /// run), these aggregate at packet granularity: N runs of M packets
+  /// merge into one accumulator over N*M packets.
+  StreamingStats merged_access_stats() const;
+  StreamingStats merged_send_stats() const;
+  StreamingStats merged_latency_stats() const;
 };
 
 /// Runs `reps` replicates with seeds base_seed, base_seed+1, ...

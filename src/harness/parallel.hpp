@@ -1,0 +1,75 @@
+// Multithreaded replication executor. `replicate_parallel` fans the
+// replicates of a scenario out over a fixed thread pool while keeping the
+// exact serial semantics: replicate i always runs with seed base_seed+i
+// and results come back in seed order, so serial and parallel Replicates
+// are bit-identical for any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace lowsense {
+
+/// Fixed-size thread pool. Tasks are arbitrary thunks; `wait()` blocks
+/// until every submitted task has finished. Reusable across batches.
+class ParallelExecutor {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ParallelExecutor(unsigned threads);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task for execution on a worker thread.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing. Rethrows
+  /// the first exception raised by any task since the last wait().
+  void wait();
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1.
+  static unsigned default_threads() noexcept;
+
+  /// Maps a --threads= flag value to a worker count: 0 means "use every
+  /// core", anything else is taken literally.
+  static unsigned resolve_threads(unsigned requested) noexcept {
+    return requested == 0 ? default_threads() : requested;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+/// Parallel counterpart of `replicate`: runs `reps` replicates with seeds
+/// base_seed, base_seed+1, ... on `threads` workers. Replicate i writes
+/// slot i of the result vector, so ordering (and therefore every summary)
+/// is deterministic regardless of scheduling; threads <= 1 degenerates to
+/// the serial path. The scenario's factory lambdas are invoked
+/// concurrently and must be re-entrant (the stock benches' factories are:
+/// they only read captured values).
+Replicates replicate_parallel(const Scenario& scenario, int reps, unsigned threads,
+                              std::uint64_t base_seed = 1);
+
+}  // namespace lowsense

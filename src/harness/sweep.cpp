@@ -7,7 +7,8 @@ namespace lowsense {
 
 std::vector<std::uint64_t> pow2_sweep(unsigned lo_exp, unsigned hi_exp) {
   std::vector<std::uint64_t> out;
-  for (unsigned e = lo_exp; e <= hi_exp && e < 63; ++e) out.push_back(1ULL << e);
+  // 2^63 is the largest representable power; only e >= 64 overflows.
+  for (unsigned e = lo_exp; e <= hi_exp && e < 64; ++e) out.push_back(1ULL << e);
   return out;
 }
 
@@ -15,7 +16,18 @@ std::vector<std::uint64_t> geom_sweep(std::uint64_t lo, std::uint64_t hi, int po
   std::vector<std::uint64_t> out;
   if (points <= 1 || lo >= hi) {
     out.push_back(lo);
-    if (hi > lo) out.push_back(hi);
+    return out;
+  }
+  if (lo == 0) {
+    // log(hi/0) is undefined; emit 0 and sweep the rest from 1.
+    out.push_back(0);
+    if (points == 2) {
+      out.push_back(hi);
+      return out;
+    }
+    const auto rest = geom_sweep(1, hi, points - 1);
+    out.insert(out.end(), rest.begin(), rest.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
   }
   const double ratio = std::log(static_cast<double>(hi) / static_cast<double>(lo)) /

@@ -57,6 +57,22 @@ TEST(LogHistogram, QuantileApproximatesMedian) {
   EXPECT_LT(med, 800.0);
 }
 
+TEST(LogHistogram, QuantileZeroIsExactMinimum) {
+  LogHistogram h(2.0);
+  // 3.0 lands in bucket [2,4) whose geometric midpoint (~2.83) is below
+  // min; the old code returned that midpoint for q=0.
+  h.add(3.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  // Negative q clamps to 0 and must behave the same.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 3.0);
+}
+
+TEST(LogHistogram, QuantileZeroOnEmptyIsZero) {
+  LogHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
 TEST(LogHistogram, ZeroWeightIgnored) {
   LogHistogram h;
   h.add(5.0, 0);

@@ -131,6 +131,34 @@ TEST(Sweep, GeomDegenerate) {
   EXPECT_EQ(v[0], 5u);
 }
 
+TEST(Sweep, GeomSinglePointRequestedGivesSinglePoint) {
+  const auto v = geom_sweep(10, 1000, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 10u);
+}
+
+TEST(Sweep, GeomZeroLoIsFinite) {
+  const auto v = geom_sweep(0, 100, 5);
+  ASSERT_GE(v.size(), 2u);
+  EXPECT_EQ(v.front(), 0u);
+  EXPECT_EQ(v.back(), 100u);
+  for (std::size_t i = 1; i < v.size(); ++i) ASSERT_GT(v[i], v[i - 1]);
+}
+
+TEST(Sweep, GeomZeroLoTwoPointsCoversEndpoints) {
+  const auto v = geom_sweep(0, 64, 2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 64u);
+}
+
+TEST(Sweep, Pow2IncludesTopBit) {
+  const auto v = pow2_sweep(62, 63);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1ULL << 62);
+  EXPECT_EQ(v[1], 1ULL << 63);
+}
+
 TEST(Sweep, GeomFloat) {
   const auto v = geom_sweep_f(0.1, 10.0, 3);
   ASSERT_EQ(v.size(), 3u);
