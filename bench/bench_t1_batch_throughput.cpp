@@ -26,8 +26,9 @@ using namespace lowsense;
 
 namespace {
 
-Scenario batch_scenario(const std::string& proto, std::uint64_t n) {
+Scenario batch_scenario(const std::string& proto, std::uint64_t n, EngineKind engine) {
   Scenario s;
+  s.engine = engine;
   s.protocol = [proto, n] {
     if (proto == "aloha") {
       return make_protocol("aloha:" + std::to_string(1.0 / static_cast<double>(n)));
@@ -52,9 +53,13 @@ int main(int argc, char** argv) {
   // --threads=0 means "use every core"; 1 (default) is the serial path.
   const unsigned threads =
       ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
+  // --engine=slot runs the slot-by-slot reference engine instead of the
+  // event engine; both share the wheel index, so results are identical.
+  const EngineKind engine = parse_engine(args.str("engine", "event"));
 
   report_header("T1", "Cor 1.4 + [23]",
                 "LSB: Theta(1) batch throughput; BEB: O(1/ln N); crossover early");
+  std::printf("engine: %s\n", engine_name(engine));
 
   const char* kProtocols[] = {"low-sensing", "binary-exponential", "mw-full-sensing", "aloha"};
   Table table({"N", "lsb", "beb", "mw", "aloha-genie"});
@@ -71,7 +76,8 @@ int main(int argc, char** argv) {
       }
       const int r = std::string(proto) == "binary-exponential" && n > 8192 ? std::max(reps / 2, 2)
                                                                            : reps;
-      const Replicates result = replicate_parallel(batch_scenario(proto, n), r, threads, seed);
+      const Replicates result =
+          replicate_parallel(batch_scenario(proto, n, engine), r, threads, seed);
       const double tp = result.throughput().median;
       row.push_back(Table::num(tp, 3));
       if (std::string(proto) == "low-sensing") {

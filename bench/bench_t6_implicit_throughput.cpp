@@ -28,12 +28,15 @@ int main(int argc, char** argv) {
   const std::uint64_t horizon = args.u64("horizon", 400000);
   const int reps = static_cast<int>(args.u64("reps", 5));
   const std::uint64_t seed = args.u64("seed", 6);
+  const EngineKind engine = parse_engine(args.str("engine", "event"));
 
   report_header("T6", "Thm 1.3 + Thm 1.8",
                 "implicit throughput (N_t+J_t)/S_t is Omega(1) at every checkpoint of an "
                 "infinite adversarial stream");
+  std::printf("engine: %s\n", engine_name(engine));
 
   Scenario s;
+  s.engine = engine;
   s.protocol = [] { return make_protocol("low-sensing"); };
   s.arrivals = [](std::uint64_t sd) {
     return std::make_unique<AqtArrivals>(0.25, 1024, AqtPattern::kPulse, 1ULL << 62,

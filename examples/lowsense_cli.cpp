@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -143,7 +144,13 @@ int main(int argc, char** argv) {
   s.arrivals = parse_arrivals(arrivals_spec);
   s.jammer = parse_jammer(jammer_spec);
   s.config.max_active_slots = args.u64("max-active-slots", 50000000ULL);
-  s.engine = args.str("engine", "event") == "slot" ? EngineKind::kSlot : EngineKind::kEvent;
+  try {
+    s.engine = parse_engine(args.str("engine", "event"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n\n", e.what());
+    usage();
+    return 1;
+  }
 
   if (!make_protocol(proto)) {
     std::fprintf(stderr, "unknown protocol '%s'\n\n", proto.c_str());

@@ -5,6 +5,16 @@
 
 namespace lowsense {
 
+EngineKind parse_engine(const std::string& name) {
+  if (name == "event") return EngineKind::kEvent;
+  if (name == "slot") return EngineKind::kSlot;
+  throw std::invalid_argument("unknown engine '" + name + "' (expected event|slot)");
+}
+
+const char* engine_name(EngineKind kind) noexcept {
+  return kind == EngineKind::kSlot ? "slot" : "event";
+}
+
 RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
                        const std::vector<Observer*>& observers) {
   if (!scenario.protocol || !scenario.arrivals) {

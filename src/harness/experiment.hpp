@@ -26,6 +26,11 @@ enum class EngineKind {
   kSlot,   ///< slot-by-slot reference engine
 };
 
+/// Parses "event" / "slot" (the values benches accept for --engine=).
+/// Throws std::invalid_argument on anything else.
+EngineKind parse_engine(const std::string& name);
+const char* engine_name(EngineKind kind) noexcept;
+
 /// A fully specified, repeatable scenario. The factories take a seed so
 /// that stochastic arrival processes / jammers get fresh, deterministic
 /// randomness per replicate.

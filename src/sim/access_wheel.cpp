@@ -1,0 +1,89 @@
+#include "sim/access_wheel.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace lowsense::detail {
+
+AccessWheel::AccessWheel() : ring_(kWindow) {}
+
+void AccessWheel::set_bit(Slot slot) noexcept {
+  const std::size_t idx = slot & kMask;
+  occupied_[idx >> 6] |= 1ULL << (idx & 63);
+}
+
+void AccessWheel::clear_bit(Slot slot) noexcept {
+  const std::size_t idx = slot & kMask;
+  occupied_[idx >> 6] &= ~(1ULL << (idx & 63));
+}
+
+void AccessWheel::schedule(std::uint32_t id, Slot slot) {
+  assert(slot != kNoSlot && slot >= cursor_);
+  ++size_;
+  if (in_window(slot)) {
+    ring_[slot & kMask].push_back(id);
+    set_bit(slot);
+    ++ring_count_;
+  } else {
+    overflow_[slot].push_back(id);
+  }
+}
+
+void AccessWheel::migrate_overflow() {
+  while (!overflow_.empty()) {
+    const auto it = overflow_.begin();
+    if (!in_window(it->first)) break;
+    std::vector<std::uint32_t>& bucket = ring_[it->first & kMask];
+    ring_count_ += it->second.size();
+    if (bucket.empty()) {
+      bucket = std::move(it->second);
+    } else {
+      bucket.insert(bucket.end(), it->second.begin(), it->second.end());
+    }
+    set_bit(it->first);
+    overflow_.erase(it);
+  }
+}
+
+void AccessWheel::pop_slot(Slot t, std::vector<std::uint32_t>* out) {
+  assert(t >= cursor_);
+  if (t != cursor_) {
+    // Slots being jumped over hold no entries (the engines only skip to
+    // the next event), so sliding the window is just an overflow pull.
+    cursor_ = t;
+    migrate_overflow();
+  }
+  std::vector<std::uint32_t>& bucket = ring_[t & kMask];
+  if (!bucket.empty()) {
+    out->insert(out->end(), bucket.begin(), bucket.end());
+    size_ -= bucket.size();
+    ring_count_ -= bucket.size();
+    bucket.clear();
+    clear_bit(t);
+  }
+  cursor_ = t + 1;
+  migrate_overflow();
+}
+
+Slot AccessWheel::next_scheduled() const {
+  if (size_ == 0) return kNoSlot;
+  if (ring_count_ == 0) return overflow_.begin()->first;
+  // Scan the occupancy bitmap forward from the cursor, wrapping once.
+  // Bits >= start are covered by the first (masked) word; on wraparound
+  // only bits < start can still be set.
+  const std::size_t start = cursor_ & kMask;
+  std::size_t w = start >> 6;
+  std::uint64_t word = occupied_[w] & (~0ULL << (start & 63));
+  for (std::size_t step = 0; step <= kWords; ++step) {
+    if (word != 0) {
+      const std::size_t idx = (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      return cursor_ + ((idx - start) & kMask);
+    }
+    w = (w + 1) % kWords;
+    word = occupied_[w];
+  }
+  assert(false && "ring_count_ > 0 but no occupied bit found");
+  return kNoSlot;
+}
+
+}  // namespace lowsense::detail

@@ -1,0 +1,69 @@
+// Hierarchical timing-wheel index of pending channel accesses.
+//
+// Both engines need the same query: "which packets access the channel in
+// slot t?" The wheel answers it in O(accessors) by bucketing each packet
+// under its absolute next-access slot. Near-future slots (within a
+// power-of-two window ahead of the cursor) live in a ring of per-slot
+// buckets with a bitmap for fast next-event scans; far-future accesses —
+// low-sensing windows grow polylog, so gaps can be enormous — live in a
+// sparse ordered overflow map and migrate into the ring as the window
+// slides over them.
+//
+// Invariants, relied on by both engines:
+//  * every scheduled slot is >= cursor();
+//  * pop_slot is called with non-decreasing t, and a packet is indexed
+//    under at most one slot at a time (SimCore re-schedules a packet only
+//    when its access is popped and resolved).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace lowsense::detail {
+
+class AccessWheel {
+ public:
+  AccessWheel();
+
+  /// Indexes packet `id` under absolute slot `slot` (never kNoSlot).
+  /// Requires slot >= cursor().
+  void schedule(std::uint32_t id, Slot slot);
+
+  /// Appends every id scheduled at exactly `t` to *out (in scheduling
+  /// order) and advances the cursor to t + 1. Requires t >= cursor().
+  void pop_slot(Slot t, std::vector<std::uint32_t>* out);
+
+  /// Smallest scheduled slot (>= cursor()), or kNoSlot when empty.
+  Slot next_scheduled() const;
+
+  /// Next slot pop_slot may be called with.
+  Slot cursor() const noexcept { return cursor_; }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::uint64_t size() const noexcept { return size_; }
+
+  static constexpr Slot kWindow = 4096;  ///< ring span (power of two)
+
+ private:
+  static constexpr Slot kMask = kWindow - 1;
+  static constexpr std::size_t kWords = kWindow / 64;
+
+  bool in_window(Slot slot) const noexcept { return slot - cursor_ < kWindow; }
+  void set_bit(Slot slot) noexcept;
+  void clear_bit(Slot slot) noexcept;
+  /// Pulls overflow entries that the sliding window now covers into the
+  /// ring. Called whenever cursor_ advances.
+  void migrate_overflow();
+
+  Slot cursor_ = 0;
+  std::uint64_t size_ = 0;        ///< total scheduled ids (ring + overflow)
+  std::uint64_t ring_count_ = 0;  ///< scheduled ids in the ring
+  std::vector<std::vector<std::uint32_t>> ring_;  ///< bucket per in-window slot
+  std::uint64_t occupied_[kWords] = {};           ///< bitmap over ring buckets
+  std::map<Slot, std::vector<std::uint32_t>> overflow_;  ///< slots >= cursor_+kWindow
+};
+
+}  // namespace lowsense::detail

@@ -19,7 +19,7 @@ Slot SimCore::next_arrival_slot() {
   return pending_ ? pending_->slot : kNoSlot;
 }
 
-void SimCore::inject_arrivals_at(Slot t, std::vector<std::uint32_t>* out_new) {
+void SimCore::inject_arrivals_at(Slot t) {
   while (next_arrival_slot() == t) {
     const std::uint64_t count = pending_->count;
     pending_.reset();
@@ -36,6 +36,7 @@ void SimCore::inject_arrivals_at(Slot t, std::vector<std::uint32_t>* out_new) {
       // anchored at t, not t+1.
       const std::uint64_t gap = pkt.proto->draw_gap(pkt.rng);
       pkt.next_access = gap == kNoSlot ? kNoSlot : t + gap - 1;
+      if (pkt.next_access != kNoSlot) wheel_.schedule(id, pkt.next_access);
       counters_.contention += pkt.send_prob;
       ++counters_.arrivals;
       ++counters_.backlog;
@@ -43,7 +44,6 @@ void SimCore::inject_arrivals_at(Slot t, std::vector<std::uint32_t>* out_new) {
       pkt.active_pos = static_cast<std::uint32_t>(active_ids_.size());
       packets_.push_back(std::move(pkt));
       active_ids_.push_back(id);
-      if (out_new) out_new->push_back(id);
       for (auto* obs : observers_) obs->on_arrival(t, id, *packets_[id].proto);
     }
     peak_backlog_ = std::max(peak_backlog_, counters_.backlog);
@@ -62,6 +62,10 @@ SystemView SimCore::view() const noexcept {
 void SimCore::depart(Slot t, std::uint32_t id) {
   Packet& pkt = packets_[id];
   assert(pkt.active);
+  // No wheel entry to drop: a packet departs only in a slot it accessed,
+  // and its entry for that slot was popped before resolve_slot ran. Mark
+  // the access spent so nothing re-schedules it.
+  pkt.next_access = kNoSlot;
   pkt.active = false;
   counters_.contention -= pkt.send_prob;
   --counters_.backlog;
@@ -96,6 +100,7 @@ void SimCore::draw_gap_after_access(Slot t, std::uint32_t id) {
   Packet& pkt = packets_[id];
   const std::uint64_t gap = pkt.proto->draw_gap(pkt.rng);
   pkt.next_access = gap == kNoSlot ? kNoSlot : t + gap;
+  if (pkt.next_access != kNoSlot) wheel_.schedule(id, pkt.next_access);
 }
 
 void SimCore::resolve_slot(Slot t, std::span<const std::uint32_t> accessor_ids) {
@@ -105,7 +110,8 @@ void SimCore::resolve_slot(Slot t, std::span<const std::uint32_t> accessor_ids) 
   for (std::uint32_t id : accessor_ids) {
     Packet& pkt = packets_[id];
     ++pkt.accesses;
-    if (pkt.rng.bernoulli(pkt.proto->send_prob_given_access())) {
+    pkt.sent = pkt.rng.bernoulli(pkt.proto->send_prob_given_access());
+    if (pkt.sent) {
       ++pkt.sends;
       scratch_senders_.push_back(id);
       scratch_sender_pids_.push_back(id);
@@ -135,9 +141,7 @@ void SimCore::resolve_slot(Slot t, std::span<const std::uint32_t> accessor_ids) 
   for (std::uint32_t id : accessor_ids) {
     Packet& pkt = packets_[id];
     if (!pkt.active) continue;  // the departed winner
-    const bool sent = std::find(scratch_senders_.begin(), scratch_senders_.end(), id) !=
-                      scratch_senders_.end();
-    apply_observation(t, id, Observation{fb, sent});
+    apply_observation(t, id, Observation{fb, pkt.sent});
     draw_gap_after_access(t, id);
   }
 

@@ -8,17 +8,10 @@ EventEngine::EventEngine(const ProtocolFactory& factory, ArrivalProcess& arrival
                          const RunConfig& config)
     : config_(config), core_(factory, arrivals, jammer, config) {}
 
-void EventEngine::push_access(std::uint32_t id) {
-  const detail::Packet& pkt = core_.packet(id);
-  if (pkt.active && pkt.next_access != kNoSlot) {
-    queue_.push({pkt.next_access, id});
-  }
-}
-
 RunResult EventEngine::run() {
   RunResult result;
   std::vector<std::uint32_t> accessors;
-  std::vector<std::uint32_t> new_ids;
+  detail::AccessWheel& wheel = core_.wheel();
   Slot t = 0;
 
   while (true) {
@@ -29,7 +22,7 @@ RunResult EventEngine::run() {
     if (config_.max_slot != 0 && t > config_.max_slot) break;
 
     const Slot next_arr = core_.next_arrival_slot();
-    const Slot next_acc = queue_.empty() ? kNoSlot : queue_.top().first;
+    const Slot next_acc = wheel.next_scheduled();
     const Slot next_ev = std::min(next_arr, next_acc);
     if (next_ev == kNoSlot) break;  // nothing will ever happen again
 
@@ -55,19 +48,13 @@ RunResult EventEngine::run() {
       break;
     }
 
-    // Process event slot t: injections first (they may access immediately),
-    // then every queued access for this slot.
-    new_ids.clear();
-    core_.inject_arrivals_at(t, &new_ids);
-    for (std::uint32_t id : new_ids) push_access(id);
+    // Process event slot t: injections first (they may access immediately
+    // and register themselves in the wheel), then pop the slot's bucket.
+    core_.inject_arrivals_at(t);
 
     accessors.clear();
-    while (!queue_.empty() && queue_.top().first == t) {
-      accessors.push_back(queue_.top().second);
-      queue_.pop();
-    }
+    wheel.pop_slot(t, &accessors);
     core_.resolve_slot(t, accessors);
-    for (std::uint32_t id : accessors) push_access(id);
     ++t;
   }
 

@@ -3,18 +3,18 @@
 // Because every supported protocol changes state only when it accesses the
 // channel (see Protocol contract), each packet's per-slot access
 // probability is constant between accesses, so "which slot do I access
-// next?" is one geometric draw. The engine keeps a min-heap of next-access
-// events and jumps over the (typically enormous) access-free stretches,
-// accounting active slots and jams for skipped spans arithmetically.
+// next?" is one geometric draw. The engine asks the SimCore's shared
+// AccessWheel for the next scheduled access and jumps over the (typically
+// enormous) access-free stretches, accounting active slots and jams for
+// skipped spans arithmetically.
 //
 // Produces bit-identical traces to SlotEngine for the same seed whenever
 // the jammer is deterministic or consumes randomness identically in both
-// engines (schedule/burst/none); see tests/sim_equivalence_test.cpp.
+// engines (schedule/burst/none); see tests/sim_equivalence_test.cpp. Both
+// engines pop accessors from the same wheel, so the equivalence is
+// structural: they cannot disagree on WHO accesses a slot, only on how
+// they walk time between accesses.
 #pragma once
-
-#include <queue>
-#include <utility>
-#include <vector>
 
 #include "sim/sim_core.hpp"
 
@@ -32,13 +32,8 @@ class EventEngine {
   const detail::SimCore& core() const noexcept { return core_; }
 
  private:
-  using Event = std::pair<Slot, std::uint32_t>;  // (slot, packet id)
-
-  void push_access(std::uint32_t id);
-
   RunConfig config_;
   detail::SimCore core_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
 };
 
 }  // namespace lowsense

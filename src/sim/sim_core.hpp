@@ -1,8 +1,10 @@
 // Shared internals of the two simulation engines: packet storage, arrival
-// injection, contention bookkeeping, and single-slot resolution. The
-// engines differ ONLY in how they find the accessors of each slot (walking
-// slots vs. a priority queue of next-access events); everything semantic
-// lives here, which is what makes the engines trace-equivalent.
+// injection, contention bookkeeping, single-slot resolution, and the
+// timing-wheel index of pending accesses. The engines differ ONLY in how
+// they walk time (every active slot vs. jumping between events); accessor
+// lookup itself is the shared AccessWheel, registered here at every point
+// a packet's next_access changes, which is what makes the engines
+// trace-equivalent by construction.
 #pragma once
 
 #include <memory>
@@ -15,6 +17,7 @@
 #include "core/rng.hpp"
 #include "core/types.hpp"
 #include "protocols/protocol.hpp"
+#include "sim/access_wheel.hpp"
 #include "sim/observer.hpp"
 #include "sim/run.hpp"
 
@@ -30,6 +33,7 @@ struct Packet {
   double send_prob = 0.0;  ///< cached contribution to contention C(t)
   std::uint32_t active_pos = 0;  ///< index into SimCore::active_ids_
   bool active = false;
+  bool sent = false;  ///< scratch: did it transmit in the slot being resolved?
 };
 
 class SimCore {
@@ -42,8 +46,9 @@ class SimCore {
   // --- arrival handling -------------------------------------------------
   /// Slot of the next pending arrival burst (kNoSlot when exhausted).
   Slot next_arrival_slot();
-  /// Injects every pending burst with slot == t. Returns ids injected.
-  void inject_arrivals_at(Slot t, std::vector<std::uint32_t>* out_new);
+  /// Injects every pending burst with slot == t, registering each new
+  /// packet's first access in the wheel.
+  void inject_arrivals_at(Slot t);
 
   // --- slot resolution --------------------------------------------------
   /// Resolves one ACTIVE slot given the packets that access the channel in
@@ -63,6 +68,12 @@ class SimCore {
   const std::vector<std::uint32_t>& active_ids() const noexcept { return active_ids_; }
   bool arrivals_exhausted() const noexcept { return arrivals_done_ && !pending_; }
 
+  /// Index of pending accesses, keyed by absolute slot. Kept current by
+  /// inject_arrivals_at / draw_gap_after_access; the engines pop from it
+  /// and never mutate next_access themselves. Empty iff no active packet
+  /// will ever access the channel again.
+  AccessWheel& wheel() noexcept { return wheel_; }
+
   /// O(n_active) recomputation of contention; tests compare it against the
   /// incrementally maintained value to bound floating-point drift.
   double recompute_contention() const;
@@ -80,6 +91,7 @@ class SimCore {
   RunConfig config_;
 
   std::vector<Packet> packets_;
+  AccessWheel wheel_;
   std::vector<std::uint32_t> active_ids_;  ///< ids of in-system packets
   std::vector<std::uint32_t> scratch_senders_;
   std::vector<PacketId> scratch_sender_pids_;

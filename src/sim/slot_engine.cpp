@@ -11,6 +11,7 @@ SlotEngine::SlotEngine(const ProtocolFactory& factory, ArrivalProcess& arrivals,
 RunResult SlotEngine::run() {
   RunResult result;
   std::vector<std::uint32_t> accessors;
+  detail::AccessWheel& wheel = core_.wheel();
   Slot t = 0;
 
   while (true) {
@@ -25,17 +26,24 @@ RunResult SlotEngine::run() {
       const Slot next = core_.next_arrival_slot();
       if (next == kNoSlot) break;  // drained
       t = next;
+      // The skip can overshoot the absolute budget; a slot past max_slot
+      // must not be resolved (the event engine refuses it too).
+      if (config_.max_slot != 0 && t > config_.max_slot) break;
+    } else if (wheel.empty() && core_.next_arrival_slot() == kNoSlot) {
+      // Backlogged but permanently silent: every remaining packet has
+      // next_access == kNoSlot and no arrival is coming, so no slot can
+      // ever carry an access again. Exit like the event engine does on
+      // next_ev == kNoSlot instead of spinning on empty slots forever
+      // when the budgets are unlimited.
+      break;
     }
 
-    core_.inject_arrivals_at(t, nullptr);
+    core_.inject_arrivals_at(t);
 
-    // Scan for this slot's accessors. Gap counters make the scan a simple
-    // comparison: a packet accesses exactly when its precomputed
-    // next-access slot arrives.
+    // This slot's accessors are exactly the wheel bucket for t: a packet
+    // accesses precisely when its precomputed next-access slot arrives.
     accessors.clear();
-    for (std::uint32_t id : core_.active_ids()) {
-      if (core_.packet(id).next_access == t) accessors.push_back(id);
-    }
+    wheel.pop_slot(t, &accessors);
     core_.resolve_slot(t, accessors);
     ++t;
   }

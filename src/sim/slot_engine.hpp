@@ -1,8 +1,11 @@
-// Reference engine: advances one slot at a time and scans the active
-// packet set for accessors. O(n_active) per active slot — slow but
-// transparently faithful to the model of §1.1. It is the ground truth the
-// event engine is tested against, and the only engine that supports
-// adversaries whose jam decision must be consulted on literally every slot.
+// Reference engine: advances one slot at a time, resolving every active
+// slot individually — transparently faithful to the model of §1.1, and the
+// only engine that consults the jammer on literally every slot. It is the
+// ground truth the event engine is tested against.
+//
+// Accessor lookup is the SimCore's AccessWheel: popping slot t's bucket is
+// O(accessors in t), so a run costs O(active slots + total accesses)
+// instead of the former O(n_active x active slots) scan.
 #pragma once
 
 #include "sim/sim_core.hpp"

@@ -1,18 +1,22 @@
 // THE load-bearing correctness test: the slot-by-slot reference engine and
 // the event-driven engine must produce IDENTICAL executions for the same
 // seed whenever the jammer consumes no randomness (none/schedule/burst/
-// reactive). Both engines draw the same per-packet geometric gaps from the
-// same per-packet streams; any divergence in outcomes, departure times, or
-// energy counts indicates a semantic bug in one of them.
+// reactive). Both engines pop accessors from the same AccessWheel and draw
+// the same per-packet geometric gaps from the same per-packet streams; any
+// divergence in outcomes, departure times, or energy counts indicates a
+// semantic bug in one of them — most likely in how they walk time between
+// accesses (budget truncation, inactive skips, quiet-span accounting).
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <random>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "adversary/arrivals.hpp"
 #include "adversary/jammer.hpp"
+#include "protocols/fixed_probability.hpp"
 #include "protocols/registry.hpp"
 #include "sim/event_engine.hpp"
 #include "sim/slot_engine.hpp"
@@ -29,6 +33,47 @@ struct DepartureTrace final : Observer {
     departures.emplace_back(slot, id, accesses, sends);
   }
 };
+
+struct EngineOutcome {
+  RunResult result;
+  DepartureTrace trace;
+};
+
+template <typename Engine>
+EngineOutcome run_engine(const ProtocolFactory& factory, ArrivalProcess& arrivals, Jammer& jammer,
+                         const RunConfig& cfg) {
+  EngineOutcome out;
+  Engine engine(factory, arrivals, jammer, cfg);
+  engine.add_observer(&out.trace);
+  out.result = engine.run();
+  return out;
+}
+
+/// Asserts the full observable execution matches: aggregate counters,
+/// result statistics, and the per-packet departure trace (same packet
+/// departs in the same slot with the same energy spend, in the same order).
+void expect_identical(const EngineOutcome& a, const EngineOutcome& b, const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.result.counters.slot, b.result.counters.slot);
+  EXPECT_EQ(a.result.counters.active_slots, b.result.counters.active_slots);
+  EXPECT_EQ(a.result.counters.successes, b.result.counters.successes);
+  EXPECT_EQ(a.result.counters.arrivals, b.result.counters.arrivals);
+  EXPECT_EQ(a.result.counters.jammed_active_slots, b.result.counters.jammed_active_slots);
+  EXPECT_EQ(a.result.counters.backlog, b.result.counters.backlog);
+  EXPECT_EQ(a.result.drained, b.result.drained);
+  EXPECT_EQ(a.result.max_accesses, b.result.max_accesses);
+  EXPECT_EQ(a.result.peak_backlog, b.result.peak_backlog);
+  EXPECT_EQ(a.result.jams_total, b.result.jams_total);
+  EXPECT_DOUBLE_EQ(a.result.max_window_seen, b.result.max_window_seen);
+  EXPECT_DOUBLE_EQ(a.result.access_stats.sum(), b.result.access_stats.sum());
+  EXPECT_DOUBLE_EQ(a.result.send_stats.sum(), b.result.send_stats.sum());
+  EXPECT_NEAR(a.result.counters.contention, b.result.counters.contention, 1e-9);
+
+  ASSERT_EQ(a.trace.departures.size(), b.trace.departures.size());
+  for (std::size_t i = 0; i < a.trace.departures.size(); ++i) {
+    EXPECT_EQ(a.trace.departures[i], b.trace.departures[i]) << "departure " << i;
+  }
+}
 
 enum class JamKind { kNone, kSchedule, kBurst, kReactiveBlanket };
 
@@ -89,35 +134,9 @@ TEST_P(EngineEquivalence, IdenticalTraces) {
   auto jamA = make_jammer(c.jam);
   auto jamB = make_jammer(c.jam);
 
-  DepartureTrace traceA, traceB;
-  SlotEngine slot_engine(*protoA, *arrivalsA, *jamA, cfg);
-  slot_engine.add_observer(&traceA);
-  EventEngine event_engine(*protoB, *arrivalsB, *jamB, cfg);
-  event_engine.add_observer(&traceB);
-
-  const RunResult a = slot_engine.run();
-  const RunResult b = event_engine.run();
-
-  // Identical aggregate counters...
-  EXPECT_EQ(a.counters.active_slots, b.counters.active_slots);
-  EXPECT_EQ(a.counters.successes, b.counters.successes);
-  EXPECT_EQ(a.counters.arrivals, b.counters.arrivals);
-  EXPECT_EQ(a.counters.jammed_active_slots, b.counters.jammed_active_slots);
-  EXPECT_EQ(a.counters.backlog, b.counters.backlog);
-  EXPECT_EQ(a.drained, b.drained);
-  EXPECT_EQ(a.max_accesses, b.max_accesses);
-  EXPECT_EQ(a.peak_backlog, b.peak_backlog);
-  EXPECT_DOUBLE_EQ(a.max_window_seen, b.max_window_seen);
-  EXPECT_DOUBLE_EQ(a.access_stats.sum(), b.access_stats.sum());
-  EXPECT_DOUBLE_EQ(a.send_stats.sum(), b.send_stats.sum());
-  EXPECT_NEAR(a.counters.contention, b.counters.contention, 1e-9);
-
-  // ...and an identical per-packet departure trace: same packet departs in
-  // the same slot with the same energy spend, in the same order.
-  ASSERT_EQ(traceA.departures.size(), traceB.departures.size());
-  for (std::size_t i = 0; i < traceA.departures.size(); ++i) {
-    EXPECT_EQ(traceA.departures[i], traceB.departures[i]) << "departure " << i;
-  }
+  const EngineOutcome a = run_engine<SlotEngine>(*protoA, *arrivalsA, *jamA, cfg);
+  const EngineOutcome b = run_engine<EventEngine>(*protoB, *arrivalsB, *jamB, cfg);
+  expect_identical(a, b, c.protocol + "/" + c.arrivals);
 }
 
 std::vector<Case> all_cases() {
@@ -137,6 +156,118 @@ std::vector<Case> all_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, EngineEquivalence, ::testing::ValuesIn(all_cases()));
+
+// ------------------------------------------------------- regressions
+
+// A late arrival landing PAST max_slot must not be injected or resolved.
+// The slot engine used to jump straight to the arrival after an inactive
+// stretch without re-checking the budget, resolving slots the event engine
+// refused to run (one extra active slot, three extra arrivals here).
+TEST(EngineEquivalenceRegression, ArrivalPastMaxSlotIsNotResolved) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    RunConfig cfg;
+    cfg.seed = seed;
+    cfg.max_slot = 1000;
+
+    auto proto = make_protocol("low-sensing");
+    const std::vector<ArrivalBurst> bursts{{0, 20}, {5000, 3}};
+    ScheduleArrivals arrA(bursts), arrB(bursts);
+    NoJammer jamA, jamB;
+
+    const EngineOutcome a = run_engine<SlotEngine>(*proto, arrA, jamA, cfg);
+    const EngineOutcome b = run_engine<EventEngine>(*proto, arrB, jamB, cfg);
+    expect_identical(a, b, "past-max-slot/s" + std::to_string(seed));
+
+    // The burst at slot 5000 lies beyond the budget in both engines.
+    EXPECT_EQ(a.result.counters.arrivals, 20u);
+    EXPECT_LE(a.result.counters.slot, cfg.max_slot);
+    EXPECT_FALSE(a.result.drained);
+  }
+}
+
+// Backlog > 0, every packet's next_access == kNoSlot, both budgets
+// unlimited: the slot engine used to livelock, incrementing t forever over
+// empty accessor sets. It must exit exactly where the event engine does
+// (no future access, no future arrival => nothing can ever happen again).
+TEST(EngineEquivalenceRegression, PermanentlySilentBacklogTerminates) {
+  FixedProbabilityFactory never_sends(0.0);
+  BatchArrivals arrA(4), arrB(4);
+  NoJammer jamA, jamB;
+  RunConfig cfg;
+  cfg.seed = 5;  // both budgets 0 = unlimited
+
+  const EngineOutcome a = run_engine<SlotEngine>(never_sends, arrA, jamA, cfg);
+  const EngineOutcome b = run_engine<EventEngine>(never_sends, arrB, jamB, cfg);
+  expect_identical(a, b, "silent-backlog");
+
+  EXPECT_FALSE(a.result.drained);
+  EXPECT_EQ(a.result.counters.backlog, 4u);
+  EXPECT_EQ(a.result.counters.active_slots, 1u);  // only the injection slot
+}
+
+// ---------------------------------------------------------- fuzz loop
+
+// Seeded, deterministic randomized sweep over protocol / arrival-schedule /
+// jammer / budget combinations. Arrival gaps mix adjacent slots, mid-range
+// gaps, and huge jumps (overflow territory for the wheel); budgets are
+// drawn small enough that max_slot and max_active_slots truncation edges
+// are hit constantly, including arrivals landing beyond max_slot.
+TEST(EngineEquivalenceFuzz, RandomizedScenariosMatch) {
+  std::mt19937_64 gen(20260728);
+  const char* kProtocols[] = {"low-sensing",    "binary-exponential", "capped-exponential",
+                              "polynomial",     "slow-oblivious",     "mw-full-sensing",
+                              "windowed-ethernet"};
+  const JamKind kJams[] = {JamKind::kNone, JamKind::kSchedule, JamKind::kBurst,
+                           JamKind::kReactiveBlanket};
+
+  auto uniform = [&gen](std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen);
+  };
+
+  for (int iter = 0; iter < 48; ++iter) {
+    const std::string proto = kProtocols[uniform(0, std::size(kProtocols) - 1)];
+    const JamKind jam = kJams[uniform(0, std::size(kJams) - 1)];
+
+    // Random strictly-increasing burst schedule with mixed-scale gaps.
+    std::vector<ArrivalBurst> bursts;
+    Slot t = uniform(0, 1) ? 0 : uniform(1, 30);
+    const int n_bursts = static_cast<int>(uniform(1, 5));
+    for (int b = 0; b < n_bursts; ++b) {
+      bursts.push_back({t, uniform(1, 25)});
+      switch (uniform(0, 2)) {
+        case 0: t += uniform(1, 20); break;            // adjacent / near
+        case 1: t += uniform(1000, 10000); break;      // mid-range gap
+        default: t += uniform(100000, 10000000); break;  // far-future jump
+      }
+    }
+    const Slot last_arrival = bursts.back().slot;
+
+    RunConfig cfg;
+    cfg.seed = uniform(1, 1u << 30);
+    // Always bound the run, and often place max_slot before the last
+    // arrival so the inactive-skip budget edge is exercised.
+    if (uniform(0, 3) == 0) {
+      cfg.max_active_slots = 0;
+      cfg.max_slot = uniform(1, 20000);
+    } else {
+      cfg.max_active_slots = uniform(1, 5000);
+      cfg.max_slot = uniform(0, 1) ? 0 : uniform(1, last_arrival + 50);
+    }
+
+    auto factory = make_protocol(proto);
+    ASSERT_NE(factory, nullptr) << proto;
+    ScheduleArrivals arrA(bursts), arrB(bursts);
+    auto jamA = make_jammer(jam), jamB = make_jammer(jam);
+
+    const EngineOutcome a = run_engine<SlotEngine>(*factory, arrA, *jamA, cfg);
+    const EngineOutcome b = run_engine<EventEngine>(*factory, arrB, *jamB, cfg);
+    expect_identical(a, b,
+                     "fuzz#" + std::to_string(iter) + "/" + proto + "/jam" +
+                         std::to_string(static_cast<int>(jam)) + "/ms" +
+                         std::to_string(cfg.max_slot) + "/mas" +
+                         std::to_string(cfg.max_active_slots));
+  }
+}
 
 }  // namespace
 }  // namespace lowsense
