@@ -115,6 +115,29 @@ void BM_EventEngineJammed(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEngineJammed)->Arg(2048)->Unit(benchmark::kMillisecond);
 
+void BM_EventEngineRandomJammed(benchmark::State& state) {
+  // Slot-keyed random jamming: quiet spans are accounted by replaying one
+  // CounterRng coin per slot, so the event engine's cost degrades from
+  // O(accesses) toward O(active slots). This tracks that price — the toll
+  // paid for making randomized adversaries trace-equivalent.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t total_slots = 0;
+  for (auto _ : state) {
+    LowSensingFactory factory;
+    BatchArrivals arrivals(n);
+    RandomJammer jammer(0.2, 0, CounterRng(1, 0xb1));
+    RunConfig cfg;
+    cfg.seed = 1;
+    EventEngine engine(factory, arrivals, jammer, cfg);
+    const RunResult r = engine.run();
+    total_slots += r.counters.active_slots;
+    benchmark::DoNotOptimize(r.counters.successes);
+  }
+  state.counters["slots/s"] = benchmark::Counter(static_cast<double>(total_slots),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventEngineRandomJammed)->Arg(2048)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -63,7 +63,7 @@ FairnessRow measure(const std::string& proto, std::uint64_t n, double jam_rate,
     s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
     if (jam_rate > 0.0) {
       s.jammer = [jam_rate](std::uint64_t sd) {
-        return std::make_unique<RandomJammer>(jam_rate, 0, Rng::stream(sd, 0xfa1));
+        return std::make_unique<RandomJammer>(jam_rate, 0, CounterRng(sd, 0xfa1));
       };
     }
     s.config.max_active_slots = 500ULL * n;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/report.hpp"
 #include "metrics/energy.hpp"
 #include "protocols/registry.hpp"
@@ -22,8 +23,10 @@ using namespace lowsense;
 
 namespace {
 
-Scenario jammed_scenario(std::uint64_t n, double jam_rate, bool burst) {
+Scenario jammed_scenario(std::uint64_t n, double jam_rate, bool burst, EngineKind engine,
+                         std::uint64_t jam_seed) {
   Scenario s;
+  s.engine = engine;
   s.protocol = [] { return make_protocol("low-sensing"); };
   s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
   if (burst) {
@@ -34,8 +37,11 @@ Scenario jammed_scenario(std::uint64_t n, double jam_rate, bool burst) {
       return std::make_unique<BurstJammer>(period, burst_len);
     };
   } else {
-    s.jammer = [jam_rate](std::uint64_t seed) {
-      return std::make_unique<RandomJammer>(jam_rate, 0, Rng::stream(seed, 0x7a11));
+    // Slot-keyed coins: the same adversary replays identically on either
+    // engine, and --jam-seed= pins it across replicates (jammer_rng is
+    // the harness's one pinning rule).
+    s.jammer = [jam_rate, jam_seed](std::uint64_t seed) {
+      return std::make_unique<RandomJammer>(jam_rate, 0, jammer_rng(jam_seed, seed, 0x7a11));
     };
   }
   s.config.max_active_slots = 400ULL * n + 1000000ULL;
@@ -49,9 +55,14 @@ int main(int argc, char** argv) {
   const std::uint64_t n = args.u64("n", 4096);
   const int reps = static_cast<int>(args.u64("reps", 5));
   const std::uint64_t seed = args.u64("seed", 3);
+  const std::uint64_t jam_seed = args.u64("jam-seed", 0);
+  const unsigned threads =
+      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
+  const EngineKind engine = parse_engine(args.str("engine", "event"));
 
   report_header("T3", "Cor 1.4 + Thm 1.6 with jamming",
                 "jam-credited throughput (T+J)/S stays Theta(1); accesses polylog in N+J");
+  std::printf("engine: %s\n", engine_name(engine));
 
   Table table({"jam", "kind", "J/N", "tp (T+J)/S", "raw T/S", "mean acc", "max acc",
                "2ln^4(N+J)+50", "drained"});
@@ -60,7 +71,8 @@ int main(int argc, char** argv) {
   for (const bool burst : {false, true}) {
     for (const double q : {0.0, 0.1, 0.3, 0.5, 0.7}) {
       if (burst && q == 0.0) continue;
-      const Replicates reps_result = replicate(jammed_scenario(n, q, burst), reps, seed);
+      const Replicates reps_result =
+          replicate_parallel(jammed_scenario(n, q, burst, engine, jam_seed), reps, threads, seed);
       const Summary tp = reps_result.throughput();
       const Summary raw = reps_result.summarize([](const RunResult& r) {
         return r.counters.active_slots == 0

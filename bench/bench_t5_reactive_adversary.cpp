@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/report.hpp"
 #include "metrics/energy.hpp"
 #include "protocols/registry.hpp"
@@ -29,8 +30,10 @@ namespace {
 /// Completion time of a single packet attacked by a reactive victim
 /// jammer with the given budget (median across seeds).
 double victim_completion_time(const std::string& proto, std::uint64_t budget, int reps,
-                              std::uint64_t seed, bool* all_drained) {
+                              unsigned threads, EngineKind engine, std::uint64_t seed,
+                              bool* all_drained) {
   Scenario s;
+  s.engine = engine;
   s.protocol = [proto] { return make_protocol(proto); };
   s.arrivals = [](std::uint64_t) { return std::make_unique<BatchArrivals>(1); };
   s.jammer = [budget](std::uint64_t) {
@@ -40,14 +43,13 @@ double victim_completion_time(const std::string& proto, std::uint64_t budget, in
   // precisely the O(1/T) throughput collapse.
   s.config.max_active_slots = 40000000ULL;
 
-  std::vector<double> times;
+  const Replicates r = replicate_parallel(s, reps, threads, seed);
   *all_drained = true;
-  for (int i = 0; i < reps; ++i) {
-    const RunResult r = run_scenario(s, seed + static_cast<std::uint64_t>(i));
-    *all_drained &= r.drained;
-    times.push_back(static_cast<double>(r.counters.active_slots));
-  }
-  return Summary::of(times).median;
+  for (const auto& run : r.runs) *all_drained &= run.drained;
+  return r.summarize([](const RunResult& run) {
+             return static_cast<double>(run.counters.active_slots);
+           })
+      .median;
 }
 
 }  // namespace
@@ -57,10 +59,14 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.u64("reps", 5));
   const std::uint64_t seed = args.u64("seed", 5);
   const std::uint64_t n = args.u64("n", 2048);
+  const unsigned threads =
+      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
+  const EngineKind engine = parse_engine(args.str("engine", "event"));
 
   report_header("T5", "Thm 1.9 + §1.3",
                 "reactive jam: BEB completion explodes ~exponentially in jam budget; "
                 "LSB stays ~linear; batch average accesses O((J/N+1) polylog)");
+  std::printf("engine: %s\n", engine_name(engine));
 
   // ---------------------------------------------------------- Part A
   std::printf("-- Part A: single victim vs reactive victim-jammer --\n");
@@ -68,8 +74,10 @@ int main(int argc, char** argv) {
   std::vector<double> budgets, beb_times, lsb_times;
   for (std::uint64_t budget : {2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
     bool beb_done = true, lsb_done = true;
-    const double beb = victim_completion_time("binary-exponential", budget, reps, seed, &beb_done);
-    const double lsb = victim_completion_time("low-sensing", budget, reps, seed, &lsb_done);
+    const double beb = victim_completion_time("binary-exponential", budget, reps, threads, engine,
+                                              seed, &beb_done);
+    const double lsb =
+        victim_completion_time("low-sensing", budget, reps, threads, engine, seed, &lsb_done);
     budgets.push_back(static_cast<double>(budget));
     beb_times.push_back(beb);
     lsb_times.push_back(lsb);
@@ -100,6 +108,7 @@ int main(int argc, char** argv) {
   for (const double jn_ratio : {0.0, 0.5, 1.0, 2.0, 4.0}) {
     const auto budget = static_cast<std::uint64_t>(jn_ratio * static_cast<double>(n));
     Scenario s;
+    s.engine = engine;
     s.protocol = [] { return make_protocol("low-sensing"); };
     s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
     if (budget > 0) {
@@ -107,7 +116,7 @@ int main(int argc, char** argv) {
         return std::make_unique<ReactiveBlanketJammer>(budget);
       };
     }
-    const Replicates r = replicate(s, std::max(reps / 2, 2), seed);
+    const Replicates r = replicate_parallel(s, std::max(reps / 2, 2), threads, seed);
     const double mean_acc = r.mean_accesses().median;
     const double nj = static_cast<double>(n) * (1.0 + jn_ratio);
     const double envelope = (jn_ratio + 1.0) * ln4_envelope(nj, 0.5, 50.0);

@@ -10,10 +10,12 @@
 // Arrival specs:  batch:N | poisson:rate,N | aqt:lambda,S,pattern,N
 //                 (pattern: spread|front|random|pulse)
 // Jammer specs:   none | random:rate[,budget] | burst:period,len |
-//                 victim:id,budget | blanket:budget | band:lo,hi,budget
+//                 victim:id,budget | blanket:budget | band:lo,hi,budget |
+//                 randband:lo,hi,rate[,budget[,jitter]]
+// --jam-seed=J pins randomized jammers to one fixed adversary across
+// replicates (their coins are slot-keyed, so any run replays exactly).
 #include <cstdio>
 #include <memory>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -27,100 +29,18 @@ using namespace lowsense;
 
 namespace {
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::istringstream in(s);
-  std::string tok;
-  while (std::getline(in, tok, sep)) out.push_back(tok);
-  return out;
-}
-
-std::function<std::unique_ptr<ArrivalProcess>(std::uint64_t)> parse_arrivals(
-    const std::string& spec) {
-  const auto colon = spec.find(':');
-  const std::string kind = spec.substr(0, colon);
-  const std::vector<std::string> args =
-      colon == std::string::npos ? std::vector<std::string>{} : split(spec.substr(colon + 1), ',');
-
-  if (kind == "batch" && args.size() == 1) {
-    const std::uint64_t n = std::stoull(args[0]);
-    return [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
-  }
-  if (kind == "poisson" && args.size() == 2) {
-    const double rate = std::stod(args[0]);
-    const std::uint64_t n = std::stoull(args[1]);
-    return [rate, n](std::uint64_t seed) {
-      return std::make_unique<PoissonArrivals>(rate, n, Rng::stream(seed, 0xa1));
-    };
-  }
-  if (kind == "aqt" && args.size() == 4) {
-    const double lambda = std::stod(args[0]);
-    const Slot s = std::stoull(args[1]);
-    AqtPattern pattern = AqtPattern::kFront;
-    if (args[2] == "spread") pattern = AqtPattern::kSpread;
-    else if (args[2] == "random") pattern = AqtPattern::kRandom;
-    else if (args[2] == "pulse") pattern = AqtPattern::kPulse;
-    else if (args[2] != "front") return nullptr;
-    const std::uint64_t n = std::stoull(args[3]);
-    return [=](std::uint64_t seed) {
-      return std::make_unique<AqtArrivals>(lambda, s, pattern, n, Rng::stream(seed, 0xa2));
-    };
-  }
-  return nullptr;
-}
-
-std::function<std::unique_ptr<Jammer>(std::uint64_t)> parse_jammer(const std::string& spec) {
-  if (spec.empty() || spec == "none") {
-    return [](std::uint64_t) { return std::make_unique<NoJammer>(); };
-  }
-  const auto colon = spec.find(':');
-  const std::string kind = spec.substr(0, colon);
-  const std::vector<std::string> args =
-      colon == std::string::npos ? std::vector<std::string>{} : split(spec.substr(colon + 1), ',');
-
-  if (kind == "random" && !args.empty()) {
-    const double rate = std::stod(args[0]);
-    const std::uint64_t budget = args.size() > 1 ? std::stoull(args[1]) : 0;
-    return [rate, budget](std::uint64_t seed) {
-      return std::make_unique<RandomJammer>(rate, budget, Rng::stream(seed, 0xb1));
-    };
-  }
-  if (kind == "burst" && args.size() == 2) {
-    const Slot period = std::stoull(args[0]);
-    const Slot len = std::stoull(args[1]);
-    return [period, len](std::uint64_t) { return std::make_unique<BurstJammer>(period, len); };
-  }
-  if (kind == "victim" && args.size() == 2) {
-    const PacketId id = std::stoull(args[0]);
-    const std::uint64_t budget = std::stoull(args[1]);
-    return [id, budget](std::uint64_t) {
-      return std::make_unique<ReactiveVictimJammer>(id, budget);
-    };
-  }
-  if (kind == "blanket" && args.size() == 1) {
-    const std::uint64_t budget = std::stoull(args[0]);
-    return [budget](std::uint64_t) { return std::make_unique<ReactiveBlanketJammer>(budget); };
-  }
-  if (kind == "band" && args.size() == 3) {
-    const double lo = std::stod(args[0]);
-    const double hi = std::stod(args[1]);
-    const std::uint64_t budget = std::stoull(args[2]);
-    return [lo, hi, budget](std::uint64_t) {
-      return std::make_unique<ContentionBandJammer>(lo, hi, budget);
-    };
-  }
-  return nullptr;
-}
-
 void usage() {
   std::printf("usage: lowsense_cli [--protocol=NAME] [--arrivals=SPEC] [--jammer=SPEC]\n"
-              "                    [--reps=K] [--seed=S] [--max-active-slots=B]\n"
-              "                    [--engine=event|slot] [--csv]\n\n"
+              "                    [--reps=K] [--seed=S] [--jam-seed=J]\n"
+              "                    [--max-active-slots=B] [--engine=event|slot] [--csv]\n\n"
               "protocols: ");
   for (const auto& name : protocol_names()) std::printf("%s ", name.c_str());
   std::printf("\narrivals : batch:N | poisson:rate,N | aqt:lambda,S,pattern,N\n");
   std::printf("jammers  : none | random:rate[,budget] | burst:period,len |\n"
-              "           victim:id,budget | blanket:budget | band:lo,hi,budget\n");
+              "           victim:id,budget | blanket:budget | band:lo,hi,budget |\n"
+              "           randband:lo,hi,rate[,budget[,jitter]]\n");
+  std::printf("--jam-seed=J pins the randomized jammers' slot-keyed coins to one\n"
+              "fixed adversary across replicates (0/absent: per-replicate coins)\n");
 }
 
 }  // namespace
@@ -141,8 +61,8 @@ int main(int argc, char** argv) {
   Scenario s;
   s.name = proto + "/" + arrivals_spec + "/" + jammer_spec;
   s.protocol = [proto] { return make_protocol(proto); };
-  s.arrivals = parse_arrivals(arrivals_spec);
-  s.jammer = parse_jammer(jammer_spec);
+  s.arrivals = parse_arrivals_spec(arrivals_spec);
+  s.jammer = parse_jammer_spec(jammer_spec, args.u64("jam-seed", 0));
   s.config.max_active_slots = args.u64("max-active-slots", 50000000ULL);
   try {
     s.engine = parse_engine(args.str("engine", "event"));

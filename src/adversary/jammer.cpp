@@ -30,7 +30,7 @@ std::uint64_t ScheduleJammer::count_quiet_range(Slot lo, Slot hi, const SystemVi
 
 // ------------------------------------------------------------------ random
 
-RandomJammer::RandomJammer(double rate, std::uint64_t budget, Rng rng)
+RandomJammer::RandomJammer(double rate, std::uint64_t budget, CounterRng rng)
     : rate_(rate), budget_(budget), rng_(rng) {
   if (rate < 0.0 || rate > 1.0) throw std::invalid_argument("RandomJammer: rate in [0,1]");
 }
@@ -40,39 +40,26 @@ std::uint64_t RandomJammer::remaining_budget() const noexcept {
   return budget_ > used_ ? budget_ - used_ : 0;
 }
 
-bool RandomJammer::jam(Slot, const SystemView&, std::span<const PacketId>) {
+bool RandomJammer::jam(Slot slot, const SystemView&, std::span<const PacketId>) {
   if (remaining_budget() == 0) return false;
-  const bool hit = rng_.bernoulli(rate_);
+  const bool hit = rng_.bernoulli(slot, rate_);
   if (hit) ++used_;
   return hit;
 }
 
 std::uint64_t RandomJammer::count_quiet_range(Slot lo, Slot hi, const SystemView&) {
   if (hi < lo || rate_ <= 0.0) return 0;
-  const std::uint64_t len = hi - lo + 1;
   std::uint64_t n = 0;
   if (rate_ >= 1.0) {
-    n = len;
-  } else if (static_cast<double>(len) * rate_ < 64.0) {
-    // Small expected count: exact via geometric skips.
-    Slot pos = lo;
-    while (pos <= hi) {
-      const std::uint64_t gap = rng_.geometric_gap(rate_);
-      if (gap > hi - pos + 1) break;
-      ++n;
-      pos += gap;
-    }
+    n = std::min<std::uint64_t>(hi - lo + 1, remaining_budget());
   } else {
-    // Large span: normal approximation to Binomial(len, rate).
-    const double mean = static_cast<double>(len) * rate_;
-    const double sd = std::sqrt(mean * (1.0 - rate_));
-    const double u1 = rng_.next_double_pos();
-    const double u2 = rng_.next_double();
-    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
-    const double x = std::clamp(mean + sd * z + 0.5, 0.0, static_cast<double>(len));
-    n = static_cast<std::uint64_t>(x);
+    // Replay the exact per-slot coins the reference engine would draw.
+    // Engines consult the jammer over active slots in increasing order,
+    // so capping at the remaining budget mid-span lands on the same slot
+    // in both: budget exhaustion is part of the trace, not an estimate.
+    const std::uint64_t remaining = remaining_budget();
+    for (Slot t = lo; t <= hi && n < remaining; ++t) n += rng_.bernoulli(t, rate_);
   }
-  n = std::min<std::uint64_t>(n, remaining_budget());
   used_ += n;
   return n;
 }
@@ -125,6 +112,51 @@ std::uint64_t ContentionBandJammer::count_quiet_range(Slot lo, Slot hi, const Sy
   if (!in_band) return 0;
   std::uint64_t n = hi - lo + 1;
   if (budget_ != 0) n = std::min<std::uint64_t>(n, budget_ > used_ ? budget_ - used_ : 0);
+  used_ += n;
+  return n;
+}
+
+// --------------------------------------------------- random contention band
+
+RandomContentionJammer::RandomContentionJammer(double lo, double hi, double rate,
+                                               std::uint64_t budget, CounterRng rng, double jitter)
+    : lo_(lo), hi_(hi), rate_(rate), jitter_(jitter), budget_(budget), rng_(rng) {
+  if (!(lo >= 0.0) || hi < lo) throw std::invalid_argument("RandomContentionJammer: bad band");
+  if (rate < 0.0 || rate > 1.0)
+    throw std::invalid_argument("RandomContentionJammer: rate in [0,1]");
+  if (!(jitter >= 0.0)) throw std::invalid_argument("RandomContentionJammer: jitter >= 0");
+}
+
+bool RandomContentionJammer::hit(Slot slot, const SystemView& view) const noexcept {
+  if (view.n_active == 0) return false;
+  // Lanes 1/2 jitter each band edge outward by an independent uniform
+  // amount in [0, jitter); lane 0 is the jam coin itself. All three are
+  // keyed on the slot, so the decision replays identically in any order.
+  const double lo_t = lo_ - jitter_ * rng_.draw_double(slot, 1);
+  const double hi_t = hi_ + jitter_ * rng_.draw_double(slot, 2);
+  if (view.contention < lo_t || view.contention > hi_t) return false;
+  return rng_.bernoulli(slot, rate_, 0);
+}
+
+bool RandomContentionJammer::jam(Slot slot, const SystemView& view, std::span<const PacketId>) {
+  if (budget_ != 0 && used_ >= budget_) return false;
+  const bool h = hit(slot, view);
+  if (h) ++used_;
+  return h;
+}
+
+std::uint64_t RandomContentionJammer::count_quiet_range(Slot lo, Slot hi,
+                                                        const SystemView& view) {
+  if (hi < lo || rate_ <= 0.0) return 0;
+  // Out of the jitter's reach entirely: hit() is false at every slot, so
+  // skip the per-slot coin replay (quiet spans can run to millions).
+  if (view.n_active == 0 || view.contention < lo_ - jitter_ || view.contention > hi_ + jitter_) {
+    return 0;
+  }
+  const std::uint64_t remaining =
+      budget_ == 0 ? ~0ULL : (budget_ > used_ ? budget_ - used_ : 0);
+  std::uint64_t n = 0;
+  for (Slot t = lo; t <= hi && n < remaining; ++t) n += hit(t, view);
   used_ += n;
   return n;
 }

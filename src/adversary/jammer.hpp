@@ -80,9 +80,16 @@ class ScheduleJammer final : public Jammer {
 
 /// Jams each slot independently with probability `rate`, up to `budget`
 /// total jams (budget 0 = unlimited).
+///
+/// The per-slot coin is slot-keyed (`CounterRng`): whether slot t jams is
+/// a pure function of (key, t), independent of how the engine walks time.
+/// `count_quiet_range` replays the exact same per-slot coins over the
+/// span, so the event engine reconstructs, slot for slot, the decisions
+/// the reference engine would have drawn — randomized jamming is
+/// trace-equivalent, not just equivalent in distribution.
 class RandomJammer final : public Jammer {
  public:
-  RandomJammer(double rate, std::uint64_t budget, Rng rng);
+  RandomJammer(double rate, std::uint64_t budget, CounterRng rng);
   bool jam(Slot, const SystemView&, std::span<const PacketId>) override;
   std::uint64_t count_quiet_range(Slot lo, Slot hi, const SystemView&) override;
   std::uint64_t jams_used() const noexcept override { return used_; }
@@ -93,7 +100,7 @@ class RandomJammer final : public Jammer {
 
   double rate_;
   std::uint64_t budget_;
-  Rng rng_;
+  CounterRng rng_;
   std::uint64_t used_ = 0;
 };
 
@@ -130,6 +137,34 @@ class ContentionBandJammer final : public Jammer {
  private:
   double lo_, hi_;
   std::uint64_t budget_;
+  std::uint64_t used_ = 0;
+};
+
+/// Randomized variant of the contention-band adversary: inside the band
+/// it jams with per-slot probability `rate` instead of deterministically,
+/// and the band edges themselves jitter per slot by up to `jitter` (each
+/// edge is pushed outward by an independent uniform draw), so the attack
+/// pressure turns on and off stochastically as contention drifts across
+/// the float boundary of the band. All three coins are slot-keyed
+/// (`CounterRng` lanes 0..2), making every decision a pure function of
+/// (key, slot, view) — trace-equivalent across both engines.
+class RandomContentionJammer final : public Jammer {
+ public:
+  RandomContentionJammer(double lo, double hi, double rate, std::uint64_t budget, CounterRng rng,
+                         double jitter = 0.0);
+  bool jam(Slot, const SystemView& view, std::span<const PacketId>) override;
+  std::uint64_t count_quiet_range(Slot lo, Slot hi, const SystemView& view) override;
+  std::uint64_t jams_used() const noexcept override { return used_; }
+  std::string name() const override { return "random-contention"; }
+
+ private:
+  bool hit(Slot slot, const SystemView& view) const noexcept;
+
+  double lo_, hi_;
+  double rate_;
+  double jitter_;
+  std::uint64_t budget_;
+  CounterRng rng_;
   std::uint64_t used_ = 0;
 };
 

@@ -48,4 +48,11 @@ std::uint64_t Rng::poisson(double mean) noexcept {
   return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x);
 }
 
+std::uint64_t CounterRng::draw_below(std::uint64_t counter, std::uint64_t n,
+                                     std::uint64_t lane) const noexcept {
+  if (n <= 1) return 0;
+  const auto wide = static_cast<unsigned __int128>(draw(counter, lane));
+  return static_cast<std::uint64_t>((wide * n) >> 64);
+}
+
 }  // namespace lowsense

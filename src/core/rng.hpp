@@ -103,4 +103,72 @@ class Rng {
   std::uint64_t s_[4]{};
 };
 
+/// Counter-mode generator: a stateless hash over `(key, counter, lane)`
+/// built from two SplitMix64 finalization rounds. Where `Rng` is a stream
+/// (each draw advances hidden state, so the VALUE of a draw depends on how
+/// many came before it), `CounterRng::draw(c)` depends only on the key and
+/// the counter — call order, interleaving, and repetition are irrelevant.
+///
+/// This is the RNG discipline for randomized adversaries: keying every
+/// jam decision on the slot number makes the decision a pure function of
+/// `(key, slot)`, so the slot-by-slot engine (which asks about each slot
+/// individually) and the event engine (which evaluates whole quiet spans
+/// at once) reconstruct the exact same coin flips and stay
+/// trace-equivalent. The `lane` axis supplies extra independent draws for
+/// the same counter (e.g. a jam coin and a boundary jitter in one slot).
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t key = 0) noexcept : key_(mix(key ^ kKeyTweak)) {}
+
+  /// Derives a decorrelated key from `(seed, stream)` — the counter-mode
+  /// analogue of `Rng::stream(seed, id)`.
+  CounterRng(std::uint64_t seed, std::uint64_t stream) noexcept
+      : key_(mix(mix(seed ^ kKeyTweak) + 0x9e3779b97f4a7c15ULL * (stream + 1))) {}
+
+  std::uint64_t key() const noexcept { return key_; }
+
+  /// The core draw: a 64-bit value fully determined by (key, counter, lane).
+  std::uint64_t draw(std::uint64_t counter, std::uint64_t lane = 0) const noexcept {
+    std::uint64_t z = key_ + 0x9e3779b97f4a7c15ULL * (counter + 1);
+    z = mix(z) + 0xd1b54a32d192ed03ULL * (lane + 1);
+    return mix(z);
+  }
+
+  /// Uniform double in [0, 1) at (counter, lane). 53 bits of entropy.
+  double draw_double(std::uint64_t counter, std::uint64_t lane = 0) const noexcept {
+    return static_cast<double>(draw(counter, lane) >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; safe as an argument to log().
+  double draw_double_pos(std::uint64_t counter, std::uint64_t lane = 0) const noexcept {
+    return (static_cast<double>(draw(counter, lane) >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool bernoulli(std::uint64_t counter, double p, std::uint64_t lane = 0) const noexcept {
+    if (p >= 1.0) return true;
+    if (p <= 0.0) return false;
+    return draw_double(counter, lane) < p;
+  }
+
+  /// Uniform integer in [0, n) at (counter, lane). Uses the widening
+  /// multiply reduction (bias < n / 2^64 — negligible for simulation, and
+  /// unlike rejection it stays a single order-independent draw).
+  std::uint64_t draw_below(std::uint64_t counter, std::uint64_t n,
+                           std::uint64_t lane = 0) const noexcept;
+
+ private:
+  /// SplitMix64 finalizer: full-avalanche 64-bit mix.
+  static std::uint64_t mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Domain-separates CounterRng(k) from Rng streams seeded with k.
+  static constexpr std::uint64_t kKeyTweak = 0xc0117e12c0117e12ULL;
+
+  std::uint64_t key_;
+};
+
 }  // namespace lowsense

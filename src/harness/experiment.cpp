@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 namespace lowsense {
@@ -13,6 +14,115 @@ EngineKind parse_engine(const std::string& name) {
 
 const char* engine_name(EngineKind kind) noexcept {
   return kind == EngineKind::kSlot ? "slot" : "event";
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (std::getline(in, tok, sep)) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+std::function<std::unique_ptr<Jammer>(std::uint64_t)> parse_jammer_spec(const std::string& spec,
+                                                                        std::uint64_t jam_seed) {
+  if (spec.empty() || spec == "none") {
+    return [](std::uint64_t) { return std::make_unique<NoJammer>(); };
+  }
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::vector<std::string> args =
+      colon == std::string::npos ? std::vector<std::string>{} : split(spec.substr(colon + 1), ',');
+
+  std::function<std::unique_ptr<Jammer>(std::uint64_t)> factory;
+  try {
+    if (kind == "random" && !args.empty() && args.size() <= 2) {
+      const double rate = std::stod(args[0]);
+      const std::uint64_t budget = args.size() > 1 ? std::stoull(args[1]) : 0;
+      factory = [rate, budget, jam_seed](std::uint64_t seed) {
+        return std::make_unique<RandomJammer>(rate, budget, jammer_rng(jam_seed, seed, 0xb1));
+      };
+    } else if (kind == "burst" && args.size() == 2) {
+      const Slot period = std::stoull(args[0]);
+      const Slot len = std::stoull(args[1]);
+      factory = [period, len](std::uint64_t) { return std::make_unique<BurstJammer>(period, len); };
+    } else if (kind == "victim" && args.size() == 2) {
+      const PacketId id = std::stoull(args[0]);
+      const std::uint64_t budget = std::stoull(args[1]);
+      factory = [id, budget](std::uint64_t) {
+        return std::make_unique<ReactiveVictimJammer>(id, budget);
+      };
+    } else if (kind == "blanket" && args.size() == 1) {
+      const std::uint64_t budget = std::stoull(args[0]);
+      factory = [budget](std::uint64_t) { return std::make_unique<ReactiveBlanketJammer>(budget); };
+    } else if (kind == "band" && args.size() == 3) {
+      const double lo = std::stod(args[0]);
+      const double hi = std::stod(args[1]);
+      const std::uint64_t budget = std::stoull(args[2]);
+      factory = [lo, hi, budget](std::uint64_t) {
+        return std::make_unique<ContentionBandJammer>(lo, hi, budget);
+      };
+    } else if (kind == "randband" && args.size() >= 3 && args.size() <= 5) {
+      const double lo = std::stod(args[0]);
+      const double hi = std::stod(args[1]);
+      const double rate = std::stod(args[2]);
+      const std::uint64_t budget = args.size() > 3 ? std::stoull(args[3]) : 0;
+      const double jitter = args.size() > 4 ? std::stod(args[4]) : 0.0;
+      factory = [lo, hi, rate, budget, jitter, jam_seed](std::uint64_t seed) {
+        return std::make_unique<RandomContentionJammer>(lo, hi, rate, budget,
+                                                        jammer_rng(jam_seed, seed, 0xb2), jitter);
+      };
+    }
+    // Validate the parameter ranges eagerly: constructors throw on bad
+    // values (rate outside [0,1], inverted band, ...), and callers expect
+    // a nullptr for ANY bad spec rather than a throwing factory.
+    if (factory) factory(1);
+  } catch (const std::exception&) {
+    return nullptr;  // unparsable number or rejected parameter value
+  }
+  return factory;
+}
+
+std::function<std::unique_ptr<ArrivalProcess>(std::uint64_t)> parse_arrivals_spec(
+    const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::vector<std::string> args =
+      colon == std::string::npos ? std::vector<std::string>{} : split(spec.substr(colon + 1), ',');
+
+  try {
+    if (kind == "batch" && args.size() == 1) {
+      const std::uint64_t n = std::stoull(args[0]);
+      return [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
+    }
+    if (kind == "poisson" && args.size() == 2) {
+      const double rate = std::stod(args[0]);
+      const std::uint64_t n = std::stoull(args[1]);
+      return [rate, n](std::uint64_t seed) {
+        return std::make_unique<PoissonArrivals>(rate, n, Rng::stream(seed, 0xa1));
+      };
+    }
+    if (kind == "aqt" && args.size() == 4) {
+      const double lambda = std::stod(args[0]);
+      const Slot s = std::stoull(args[1]);
+      AqtPattern pattern = AqtPattern::kFront;
+      if (args[2] == "spread") pattern = AqtPattern::kSpread;
+      else if (args[2] == "random") pattern = AqtPattern::kRandom;
+      else if (args[2] == "pulse") pattern = AqtPattern::kPulse;
+      else if (args[2] != "front") return nullptr;
+      const std::uint64_t n = std::stoull(args[3]);
+      return [=](std::uint64_t seed) {
+        return std::make_unique<AqtArrivals>(lambda, s, pattern, n, Rng::stream(seed, 0xa2));
+      };
+    }
+  } catch (const std::exception&) {
+    return nullptr;  // unparsable number in the spec
+  }
+  return nullptr;
 }
 
 RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,

@@ -31,6 +31,39 @@ enum class EngineKind {
 EngineKind parse_engine(const std::string& name);
 const char* engine_name(EngineKind kind) noexcept;
 
+/// THE --jam-seed= pinning rule, shared by parse_jammer_spec and any
+/// bench that builds randomized jammers directly: a nonzero `jam_seed`
+/// keys the slot-keyed coins off it alone (one fixed adversary replayed
+/// across every replicate and engine); otherwise the replicate seed keys
+/// them (a fresh adversary per replicate).
+inline CounterRng jammer_rng(std::uint64_t jam_seed, std::uint64_t seed,
+                             std::uint64_t stream) noexcept {
+  return CounterRng(jam_seed != 0 ? jam_seed : seed, stream);
+}
+
+/// Parses a jammer spec (the value benches and the CLI accept for
+/// --jammer=) into a per-seed jammer factory:
+///
+///   none | random:rate[,budget] | burst:period,len | victim:id,budget |
+///   blanket:budget | band:lo,hi,budget | randband:lo,hi,rate[,budget[,jitter]]
+///
+/// Returns nullptr on a malformed spec, including parameter values the
+/// jammer constructors reject (validated eagerly, so the factory itself
+/// never throws). Randomized jammers (`random`, `randband`) draw
+/// slot-keyed coins from a CounterRng keyed per `jammer_rng`.
+std::function<std::unique_ptr<Jammer>(std::uint64_t seed)> parse_jammer_spec(
+    const std::string& spec, std::uint64_t jam_seed = 0);
+
+/// Parses an arrival spec (the value the CLI accepts for --arrivals=)
+/// into a per-seed arrival-process factory:
+///
+///   batch:N | poisson:rate,N | aqt:lambda,S,pattern,N
+///   (pattern: spread|front|random|pulse)
+///
+/// Returns nullptr on a malformed spec.
+std::function<std::unique_ptr<ArrivalProcess>(std::uint64_t seed)> parse_arrivals_spec(
+    const std::string& spec);
+
 /// A fully specified, repeatable scenario. The factories take a seed so
 /// that stochastic arrival processes / jammers get fresh, deterministic
 /// randomness per replicate.

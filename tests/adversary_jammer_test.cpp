@@ -1,7 +1,15 @@
 // Unit tests for the jamming adversaries: per-slot decisions, quiet-range
-// accounting consistency, budgets, and the adaptive/reactive split.
+// accounting consistency, budgets, and the adaptive/reactive split — plus
+// the model-conformance suite every jammer family must pass for the
+// engines to be trace-equivalent: adaptive jammers may not react to the
+// sender list, and count_quiet_range must be EXACTLY the sum of the
+// per-slot jam() decisions a twin instance would make over the range.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "adversary/jammer.hpp"
@@ -42,51 +50,87 @@ TEST(ScheduleJammer, QuietRangeCountsInclusive) {
 }
 
 TEST(RandomJammer, RateZeroNeverJams) {
-  RandomJammer j(0.0, 0, Rng(1));
+  RandomJammer j(0.0, 0, CounterRng(1));
   for (Slot t = 0; t < 100; ++t) EXPECT_FALSE(j.jam(t, some_view(), {}));
   EXPECT_EQ(j.count_quiet_range(0, 10000, some_view()), 0u);
 }
 
 TEST(RandomJammer, RateOneAlwaysJams) {
-  RandomJammer j(1.0, 0, Rng(2));
+  RandomJammer j(1.0, 0, CounterRng(2));
   for (Slot t = 0; t < 100; ++t) EXPECT_TRUE(j.jam(t, some_view(), {}));
-  EXPECT_EQ(j.count_quiet_range(0, 99, some_view()), 100u);
+  EXPECT_EQ(j.count_quiet_range(100, 199, some_view()), 100u);
 }
 
 TEST(RandomJammer, PerSlotFrequencyMatchesRate) {
-  RandomJammer j(0.3, 0, Rng(3));
+  RandomJammer j(0.3, 0, CounterRng(3));
   int hits = 0;
   const int n = 50000;
   for (Slot t = 0; t < static_cast<Slot>(n); ++t) hits += j.jam(t, some_view(), {});
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
 }
 
-TEST(RandomJammer, QuietRangeMatchesRateSmallSpan) {
-  // Exercises the exact geometric-skip path (len * rate < 64).
-  RandomJammer j(0.1, 0, Rng(4));
-  std::uint64_t totalJams = 0;
-  const int reps = 2000;
-  for (int i = 0; i < reps; ++i) totalJams += j.count_quiet_range(0, 99, some_view());
-  EXPECT_NEAR(static_cast<double>(totalJams) / reps, 10.0, 0.5);
+TEST(RandomJammer, DecisionIsPurePerSlot) {
+  // Slot-keyed coins: the decision at slot t does not depend on which
+  // slots were asked about before it, so twins queried in different
+  // orders (and with different interleavings of quiet ranges) agree.
+  RandomJammer fwd(0.4, 0, CounterRng(77));
+  RandomJammer bwd(0.4, 0, CounterRng(77));
+  std::vector<bool> forward;
+  for (Slot t = 0; t < 500; ++t) forward.push_back(fwd.jam(t, some_view(), {}));
+  for (Slot t = 500; t-- > 0;) {
+    EXPECT_EQ(bwd.jam(t, some_view(), {}), forward[t]) << "slot " << t;
+  }
+  EXPECT_EQ(fwd.jams_used(), bwd.jams_used());
 }
 
-TEST(RandomJammer, QuietRangeMatchesRateLargeSpan) {
-  // Exercises the normal-approximation path.
-  RandomJammer j(0.5, 0, Rng(5));
-  const std::uint64_t n = j.count_quiet_range(0, 999999, some_view());
-  EXPECT_NEAR(static_cast<double>(n), 500000.0, 5000.0);
+TEST(RandomJammer, QuietRangeIsExactPerSlotSum) {
+  // Not "consistent in distribution" — EXACT: the range count equals the
+  // sum of the per-slot decisions a twin makes, for any span partition.
+  RandomJammer ranged(0.25, 0, CounterRng(8));
+  RandomJammer slotted(0.25, 0, CounterRng(8));
+  Slot lo = 0;
+  for (const Slot len : {1u, 7u, 100u, 1000u, 4096u}) {
+    const Slot hi = lo + len - 1;
+    std::uint64_t direct = 0;
+    for (Slot t = lo; t <= hi; ++t) direct += slotted.jam(t, some_view(), {});
+    EXPECT_EQ(ranged.count_quiet_range(lo, hi, some_view()), direct) << lo << ".." << hi;
+    lo = hi + 1;
+  }
+  EXPECT_EQ(ranged.jams_used(), slotted.jams_used());
+}
+
+TEST(RandomJammer, QuietRangeFrequencyMatchesRate) {
+  RandomJammer j(0.1, 0, CounterRng(4));
+  const std::uint64_t n = j.count_quiet_range(0, 199999, some_view());
+  EXPECT_NEAR(static_cast<double>(n), 20000.0, 600.0);
 }
 
 TEST(RandomJammer, BudgetCapsTotalJams) {
-  RandomJammer j(1.0, 10, Rng(6));
+  RandomJammer j(1.0, 10, CounterRng(6));
   EXPECT_EQ(j.count_quiet_range(0, 99, some_view()), 10u);
   EXPECT_FALSE(j.jam(100, some_view(), {}));
   EXPECT_EQ(j.jams_used(), 10u);
 }
 
+TEST(RandomJammer, BudgetExhaustsOnSameSlotRegardlessOfPartition) {
+  // A budget-limited random jammer must run dry at the same absolute slot
+  // whether the span is consumed per-slot (slot engine) or in arbitrary
+  // quiet-range chunks (event engine).
+  RandomJammer whole(0.5, 25, CounterRng(12));
+  RandomJammer chunked(0.5, 25, CounterRng(12));
+  std::uint64_t total_whole = whole.count_quiet_range(0, 999, some_view());
+  std::uint64_t total_chunks = 0;
+  for (Slot lo = 0; lo < 1000; lo += 13) {
+    total_chunks += chunked.count_quiet_range(lo, std::min<Slot>(lo + 12, 999), some_view());
+  }
+  EXPECT_EQ(total_whole, 25u);
+  EXPECT_EQ(total_chunks, 25u);
+  EXPECT_EQ(whole.jams_used(), chunked.jams_used());
+}
+
 TEST(RandomJammer, RejectsBadRate) {
-  EXPECT_THROW(RandomJammer(1.5, 0, Rng(1)), std::invalid_argument);
-  EXPECT_THROW(RandomJammer(-0.1, 0, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomJammer(1.5, 0, CounterRng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomJammer(-0.1, 0, CounterRng(1)), std::invalid_argument);
 }
 
 TEST(BurstJammer, JamsBurstPrefixOfEachPeriod) {
@@ -184,6 +228,164 @@ TEST(ReactiveBlanketJammer, BudgetExhausts) {
   EXPECT_TRUE(j.jam(0, some_view(), one));
   EXPECT_FALSE(j.jam(1, some_view(), one));
   EXPECT_EQ(j.jams_used(), 1u);
+}
+
+TEST(RandomContentionJammer, JamsOnlyInsideBandAtRate) {
+  RandomContentionJammer j(0.5, 2.0, 0.6, 0, CounterRng(21));
+  SystemView v = some_view();
+  v.contention = 1.0;
+  int hits = 0;
+  const int n = 50000;
+  for (Slot t = 0; t < static_cast<Slot>(n); ++t) hits += j.jam(t, v, {});
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.6, 0.01);
+
+  v.contention = 0.4;  // below band, jitter 0: never
+  for (Slot t = 0; t < 1000; ++t) EXPECT_FALSE(j.jam(t, v, {}));
+  v.contention = 3.0;  // above band: never
+  for (Slot t = 0; t < 1000; ++t) EXPECT_FALSE(j.jam(t, v, {}));
+  v.contention = 1.0;
+  v.n_active = 0;  // no one to disturb
+  for (Slot t = 0; t < 1000; ++t) EXPECT_FALSE(j.jam(t, v, {}));
+}
+
+TEST(RandomContentionJammer, BoundaryJitterReachesJustOutsideTheBand) {
+  // With jitter, contention sitting a hair outside the band is jammed on
+  // SOME slots (the per-slot jittered edge swallows it) but not all.
+  RandomContentionJammer j(1.0, 2.0, 1.0, 0, CounterRng(22), 0.5);
+  SystemView v = some_view();
+  v.contention = 0.8;  // 0.2 below lo; jitter uniform in [0, 0.5)
+  int hits = 0;
+  const int n = 20000;
+  for (Slot t = 0; t < static_cast<Slot>(n); ++t) hits += j.jam(t, v, {});
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, n);
+  // Expected hit fraction: P(jitter draw > 0.2) = 0.6.
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.6, 0.02);
+
+  // Far outside the jitter's reach: never jammed.
+  v.contention = 0.4;
+  for (Slot t = 0; t < 1000; ++t) EXPECT_FALSE(j.jam(t, v, {}));
+}
+
+TEST(RandomContentionJammer, BudgetEnforcedAcrossJamAndQuietRange) {
+  RandomContentionJammer j(0.0, 10.0, 1.0, 5, CounterRng(23));
+  EXPECT_TRUE(j.jam(0, some_view(), {}));
+  EXPECT_EQ(j.count_quiet_range(1, 100, some_view()), 4u);  // budget caps mid-span
+  EXPECT_FALSE(j.jam(101, some_view(), {}));
+  EXPECT_EQ(j.jams_used(), 5u);
+}
+
+TEST(RandomContentionJammer, QuietRangeUsesConstantView) {
+  RandomContentionJammer j(0.5, 2.0, 1.0, 0, CounterRng(24));
+  SystemView out_of_band = some_view();
+  out_of_band.contention = 10.0;
+  EXPECT_EQ(j.count_quiet_range(0, 999, out_of_band), 0u);
+  EXPECT_EQ(j.count_quiet_range(0, 999, some_view()), 1000u);  // rate 1, in band
+}
+
+TEST(RandomContentionJammer, RejectsBadArguments) {
+  EXPECT_THROW(RandomContentionJammer(2.0, 1.0, 0.5, 0, CounterRng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomContentionJammer(-1.0, 1.0, 0.5, 0, CounterRng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomContentionJammer(0.0, 1.0, 1.5, 0, CounterRng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomContentionJammer(0.0, 1.0, 0.5, 0, CounterRng(1), -0.1),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------- model conformance
+//
+// The properties every jammer family must satisfy for the adversary model
+// (and for engine trace-equivalence) to hold. Each factory builds a fresh,
+// identically-configured instance on demand — "twins" share all
+// parameters and RNG keys but no mutable state.
+
+using JammerFactory = std::function<std::unique_ptr<Jammer>()>;
+
+std::vector<std::pair<std::string, JammerFactory>> adaptive_families() {
+  return {
+      {"none", [] { return std::make_unique<NoJammer>(); }},
+      {"schedule",
+       [] {
+         return std::make_unique<ScheduleJammer>(std::vector<Slot>{2, 3, 50, 51, 700, 1500});
+       }},
+      {"burst", [] { return std::make_unique<BurstJammer>(37, 9); }},
+      {"random", [] { return std::make_unique<RandomJammer>(0.3, 0, CounterRng(91)); }},
+      {"random-budget", [] { return std::make_unique<RandomJammer>(0.6, 40, CounterRng(92)); }},
+      {"band", [] { return std::make_unique<ContentionBandJammer>(0.5, 2.0, 60); }},
+      {"randband",
+       [] { return std::make_unique<RandomContentionJammer>(0.5, 2.0, 0.7, 55, CounterRng(93)); }},
+      {"randband-jitter",
+       [] {
+         return std::make_unique<RandomContentionJammer>(0.5, 2.0, 0.7, 0, CounterRng(94), 0.25);
+       }},
+  };
+}
+
+std::vector<std::pair<std::string, JammerFactory>> reactive_families() {
+  return {
+      {"reactive-victim", [] { return std::make_unique<ReactiveVictimJammer>(1, 30); }},
+      {"reactive-blanket", [] { return std::make_unique<ReactiveBlanketJammer>(30); }},
+  };
+}
+
+std::vector<SystemView> conformance_views() {
+  SystemView in_band = some_view();           // contention 1.0, n_active 10
+  SystemView near_edge = some_view();
+  near_edge.contention = 0.45;                // just outside [0.5, 2.0]
+  SystemView heavy = some_view();
+  heavy.contention = 8.0;
+  heavy.n_active = 64;
+  return {in_band, near_edge, heavy};
+}
+
+// Adaptive jammers decide from SystemView alone: shuffling or emptying
+// the sender list may not change a single decision (they must not react).
+TEST(JammerConformance, AdaptiveJammersIgnoreSenders) {
+  const PacketId order_a[] = {3, 7, 11};
+  const PacketId order_b[] = {11, 3, 7};
+  for (const auto& [name, make] : adaptive_families()) {
+    SCOPED_TRACE(name);
+    for (const SystemView& v : conformance_views()) {
+      auto with_a = make();
+      auto with_b = make();
+      auto with_none = make();
+      for (Slot t = 0; t < 2000; ++t) {
+        const bool da = with_a->jam(t, v, order_a);
+        const bool db = with_b->jam(t, v, order_b);
+        const bool dn = with_none->jam(t, v, {});
+        ASSERT_EQ(da, db) << "slot " << t;
+        ASSERT_EQ(da, dn) << "slot " << t;
+      }
+      ASSERT_EQ(with_a->jams_used(), with_none->jams_used());
+    }
+  }
+}
+
+// count_quiet_range(lo, hi) must equal the sum of per-slot jam() calls
+// over [lo, hi] on a fresh twin — exactly, for EVERY family. This is the
+// contract that lets the event engine account quiet spans arithmetically
+// while staying trace-identical to the slot engine.
+TEST(JammerConformance, QuietRangeEqualsPerSlotSumOnTwin) {
+  auto all = adaptive_families();
+  for (auto& fam : reactive_families()) all.push_back(std::move(fam));
+
+  const std::pair<Slot, Slot> spans[] = {{0, 0}, {0, 99}, {100, 1733}, {1734, 1734},
+                                         {1735, 5000}, {5001, 5200}};
+  for (const auto& [name, make] : all) {
+    SCOPED_TRACE(name);
+    for (const SystemView& v : conformance_views()) {
+      auto ranged = make();
+      auto slotted = make();
+      // Walk the same increasing spans on both twins so budget state
+      // evolves in lockstep (engines consult jammers in slot order too).
+      for (const auto& [lo, hi] : spans) {
+        std::uint64_t direct = 0;
+        for (Slot t = lo; t <= hi; ++t) direct += slotted->jam(t, v, {});
+        ASSERT_EQ(ranged->count_quiet_range(lo, hi, v), direct)
+            << "span [" << lo << ", " << hi << "]";
+        ASSERT_EQ(ranged->jams_used(), slotted->jams_used());
+      }
+    }
+  }
 }
 
 }  // namespace

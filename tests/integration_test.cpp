@@ -63,7 +63,7 @@ TEST(Integration, WholeExperimentIsReproducible) {
       return std::make_unique<PoissonArrivals>(0.08, 800, Rng::stream(seed, 3));
     };
     s.jammer = [](std::uint64_t seed) {
-      return std::make_unique<RandomJammer>(0.1, 0, Rng::stream(seed, 4));
+      return std::make_unique<RandomJammer>(0.1, 0, CounterRng(seed, 4));
     };
     return replicate(s, 4, 900);
   };

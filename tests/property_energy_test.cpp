@@ -78,7 +78,7 @@ TEST(Energy, JammingCostsOnlyPolylogExtra) {
   const std::uint64_t n = 2048;
   Scenario s = batch("low-sensing", n);
   s.jammer = [](std::uint64_t seed) {
-    return std::make_unique<RandomJammer>(0.25, 0, Rng::stream(seed, 9));
+    return std::make_unique<RandomJammer>(0.25, 0, CounterRng(seed, 9));
   };
   const Replicates reps = replicate(s, 4, 66);
   for (const auto& r : reps.runs) {

@@ -83,7 +83,7 @@ TEST_P(ModelInvariants, HoldThroughoutExecution) {
   }
   std::unique_ptr<Jammer> jammer;
   if (c.jam_rate > 0.0) {
-    jammer = std::make_unique<RandomJammer>(c.jam_rate, 0, Rng(c.seed ^ 0x123));
+    jammer = std::make_unique<RandomJammer>(c.jam_rate, 0, CounterRng(c.seed ^ 0x123));
   } else {
     jammer = std::make_unique<NoJammer>();
   }

@@ -68,7 +68,7 @@ TEST(Throughput, ImplicitThroughputHoldsUnderJamming) {
   // With jam credit, implicit throughput stays bounded even at 30% jamming.
   Scenario s = batch("low-sensing", 2048);
   s.jammer = [](std::uint64_t seed) {
-    return std::make_unique<RandomJammer>(0.3, 0, Rng::stream(seed, 0xdead));
+    return std::make_unique<RandomJammer>(0.3, 0, CounterRng(seed, 0xdead));
   };
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     Recorder rec;

@@ -142,7 +142,7 @@ TEST(Contention, JammingPushesContentionDown) {
   // long fully jammed stretch must be far below the initial N/w_min.
   LowSensingFactory factory;
   BatchArrivals arrivals(100);
-  RandomJammer jammer(1.0, 0, Rng(3));
+  RandomJammer jammer(1.0, 0, CounterRng(3));
   RunConfig cfg;
   cfg.seed = 29;
   cfg.max_active_slots = 20000;

@@ -171,7 +171,7 @@ TEST(EventEngine, PoissonStreamDrains) {
 TEST(EventEngine, FullJammingPreventsAllProgress) {
   LowSensingFactory factory;
   BatchArrivals arrivals(10);
-  RandomJammer jammer(1.0, 0, Rng(1));
+  RandomJammer jammer(1.0, 0, CounterRng(1));
   RunConfig cfg = config_with_seed(4);
   cfg.max_active_slots = 2000;
   EventEngine engine(factory, arrivals, jammer, cfg);
@@ -186,7 +186,7 @@ TEST(EventEngine, JammedThroughputCreditsJams) {
   // With (T+J)/S, a fully jammed run still has throughput 1.
   LowSensingFactory factory;
   BatchArrivals arrivals(10);
-  RandomJammer jammer(1.0, 0, Rng(1));
+  RandomJammer jammer(1.0, 0, CounterRng(1));
   RunConfig cfg = config_with_seed(4);
   cfg.max_active_slots = 500;
   EventEngine engine(factory, arrivals, jammer, cfg);

@@ -1,15 +1,20 @@
 // THE load-bearing correctness test: the slot-by-slot reference engine and
 // the event-driven engine must produce IDENTICAL executions for the same
-// seed whenever the jammer consumes no randomness (none/schedule/burst/
-// reactive). Both engines pop accessors from the same AccessWheel and draw
-// the same per-packet geometric gaps from the same per-packet streams; any
-// divergence in outcomes, departure times, or energy counts indicates a
-// semantic bug in one of them — most likely in how they walk time between
-// accesses (budget truncation, inactive skips, quiet-span accounting).
+// seed — for EVERY jammer family, including the randomized ones. Both
+// engines pop accessors from the same AccessWheel and draw the same
+// per-packet geometric gaps from the same per-packet streams; randomized
+// jammers (random, random contention-band) draw slot-keyed CounterRng
+// coins, so their decisions replay identically whether the engine asks
+// about each slot (slot engine) or accounts whole quiet spans at once
+// (event engine). Any divergence in outcomes, departure times, or energy
+// counts indicates a semantic bug in one of them — most likely in how
+// they walk time between accesses (budget truncation, inactive skips,
+// quiet-span accounting, or budget exhaustion mid-span).
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <random>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -75,9 +80,11 @@ void expect_identical(const EngineOutcome& a, const EngineOutcome& b, const std:
   }
 }
 
-enum class JamKind { kNone, kSchedule, kBurst, kReactiveBlanket };
+enum class JamKind { kNone, kSchedule, kBurst, kReactiveBlanket, kRandom, kRandomBand };
 
-std::unique_ptr<Jammer> make_jammer(JamKind kind) {
+/// Builds a jammer; twins for the two engines must share `key` so the
+/// randomized families flip identical slot-keyed coins.
+std::unique_ptr<Jammer> make_jammer(JamKind kind, std::uint64_t key) {
   switch (kind) {
     case JamKind::kNone:
       return std::make_unique<NoJammer>();
@@ -90,6 +97,11 @@ std::unique_ptr<Jammer> make_jammer(JamKind kind) {
       return std::make_unique<BurstJammer>(97, 13);
     case JamKind::kReactiveBlanket:
       return std::make_unique<ReactiveBlanketJammer>(40);
+    case JamKind::kRandom:
+      return std::make_unique<RandomJammer>(0.25, 600, CounterRng(key, 0xb1));
+    case JamKind::kRandomBand:
+      return std::make_unique<RandomContentionJammer>(0.5, 2.5, 0.5, 500, CounterRng(key, 0xb2),
+                                                      0.3);
   }
   return nullptr;
 }
@@ -131,8 +143,8 @@ TEST_P(EngineEquivalence, IdenticalTraces) {
 
   auto arrivalsA = make_arrivals(c.arrivals);
   auto arrivalsB = make_arrivals(c.arrivals);
-  auto jamA = make_jammer(c.jam);
-  auto jamB = make_jammer(c.jam);
+  auto jamA = make_jammer(c.jam, c.seed);
+  auto jamB = make_jammer(c.jam, c.seed);
 
   const EngineOutcome a = run_engine<SlotEngine>(*protoA, *arrivalsA, *jamA, cfg);
   const EngineOutcome b = run_engine<EventEngine>(*protoB, *arrivalsB, *jamB, cfg);
@@ -145,7 +157,7 @@ std::vector<Case> all_cases() {
                             "windowed-ethernet"}) {
     for (const char* arr : {"batch", "trickle", "spaced"}) {
       for (JamKind jam : {JamKind::kNone, JamKind::kSchedule, JamKind::kBurst,
-                          JamKind::kReactiveBlanket}) {
+                          JamKind::kReactiveBlanket, JamKind::kRandom, JamKind::kRandomBand}) {
         for (std::uint64_t seed : {1ULL, 42ULL}) {
           cases.push_back({proto, arr, jam, seed});
         }
@@ -205,28 +217,30 @@ TEST(EngineEquivalenceRegression, PermanentlySilentBacklogTerminates) {
   EXPECT_EQ(a.result.counters.active_slots, 1u);  // only the injection slot
 }
 
-// ---------------------------------------------------------- fuzz loop
+// ---------------------------------------------------------- fuzz loops
 
-// Seeded, deterministic randomized sweep over protocol / arrival-schedule /
-// jammer / budget combinations. Arrival gaps mix adjacent slots, mid-range
-// gaps, and huge jumps (overflow territory for the wheel); budgets are
-// drawn small enough that max_slot and max_active_slots truncation edges
-// are hit constantly, including arrivals landing beyond max_slot.
-TEST(EngineEquivalenceFuzz, RandomizedScenariosMatch) {
-  std::mt19937_64 gen(20260728);
+/// One seeded, deterministic randomized sweep over protocol /
+/// arrival-schedule / jammer / budget combinations. Arrival gaps mix
+/// adjacent slots, mid-range gaps, and huge jumps (overflow territory for
+/// the wheel); budgets are drawn small enough that max_slot and
+/// max_active_slots truncation edges are hit constantly, including
+/// arrivals landing beyond max_slot. Randomized jammers additionally draw
+/// a fresh CounterRng key, rate, and jam budget per case, so budget
+/// exhaustion lands mid-quiet-span as often as not.
+void fuzz_sweep(std::uint64_t master_seed, int iters, std::span<const JamKind> jams,
+                const std::string& tag) {
+  std::mt19937_64 gen(master_seed);
   const char* kProtocols[] = {"low-sensing",    "binary-exponential", "capped-exponential",
                               "polynomial",     "slow-oblivious",     "mw-full-sensing",
                               "windowed-ethernet"};
-  const JamKind kJams[] = {JamKind::kNone, JamKind::kSchedule, JamKind::kBurst,
-                           JamKind::kReactiveBlanket};
 
   auto uniform = [&gen](std::uint64_t lo, std::uint64_t hi) {
     return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen);
   };
 
-  for (int iter = 0; iter < 48; ++iter) {
+  for (int iter = 0; iter < iters; ++iter) {
     const std::string proto = kProtocols[uniform(0, std::size(kProtocols) - 1)];
-    const JamKind jam = kJams[uniform(0, std::size(kJams) - 1)];
+    const JamKind jam = jams[uniform(0, jams.size() - 1)];
 
     // Random strictly-increasing burst schedule with mixed-scale gaps.
     std::vector<ArrivalBurst> bursts;
@@ -257,16 +271,56 @@ TEST(EngineEquivalenceFuzz, RandomizedScenariosMatch) {
     auto factory = make_protocol(proto);
     ASSERT_NE(factory, nullptr) << proto;
     ScheduleArrivals arrA(bursts), arrB(bursts);
-    auto jamA = make_jammer(jam), jamB = make_jammer(jam);
+
+    std::unique_ptr<Jammer> jamA, jamB;
+    if (jam == JamKind::kRandom || jam == JamKind::kRandomBand) {
+      // Randomized families: fuzz the adversary's own knobs too. Rates
+      // span the whole [~0, 1] range and budgets the whole spectrum from
+      // "dries up immediately" to effectively unlimited.
+      const std::uint64_t key = uniform(1, ~0ULL - 1);
+      const double rate = static_cast<double>(uniform(1, 100)) / 100.0;
+      const std::uint64_t budget = uniform(0, 3) == 0 ? 0 : uniform(1, 3000);
+      if (jam == JamKind::kRandom) {
+        jamA = std::make_unique<RandomJammer>(rate, budget, CounterRng(key, 0xb1));
+        jamB = std::make_unique<RandomJammer>(rate, budget, CounterRng(key, 0xb1));
+      } else {
+        const double lo = static_cast<double>(uniform(0, 150)) / 100.0;
+        const double hi = lo + static_cast<double>(uniform(10, 300)) / 100.0;
+        const double jitter = uniform(0, 1) ? 0.0 : static_cast<double>(uniform(1, 50)) / 100.0;
+        jamA = std::make_unique<RandomContentionJammer>(lo, hi, rate, budget,
+                                                        CounterRng(key, 0xb2), jitter);
+        jamB = std::make_unique<RandomContentionJammer>(lo, hi, rate, budget,
+                                                        CounterRng(key, 0xb2), jitter);
+      }
+    } else {
+      jamA = make_jammer(jam, cfg.seed);
+      jamB = make_jammer(jam, cfg.seed);
+    }
 
     const EngineOutcome a = run_engine<SlotEngine>(*factory, arrA, *jamA, cfg);
     const EngineOutcome b = run_engine<EventEngine>(*factory, arrB, *jamB, cfg);
     expect_identical(a, b,
-                     "fuzz#" + std::to_string(iter) + "/" + proto + "/jam" +
+                     tag + "#" + std::to_string(iter) + "/" + proto + "/jam" +
                          std::to_string(static_cast<int>(jam)) + "/ms" +
                          std::to_string(cfg.max_slot) + "/mas" +
                          std::to_string(cfg.max_active_slots));
   }
+}
+
+// Fast sweep (PR CI): every jammer family, including the randomized ones.
+TEST(EngineEquivalenceFuzz, RandomizedScenariosMatch) {
+  const JamKind kJams[] = {JamKind::kNone,  JamKind::kSchedule,  JamKind::kBurst,
+                           JamKind::kReactiveBlanket, JamKind::kRandom, JamKind::kRandomBand};
+  fuzz_sweep(20260728, 48, kJams, "fuzz");
+}
+
+// Deep randomized-adversary sweep (nightly, ctest label "slow"): 120 more
+// cases concentrated on the stochastic families whose trace-equivalence
+// the slot-keyed CounterRng is supposed to guarantee, with fuzzed rates,
+// keys, jam budgets, and band geometry.
+TEST(EngineEquivalenceFuzzSlow, RandomizedJammersMatch) {
+  const JamKind kJams[] = {JamKind::kRandom, JamKind::kRandomBand};
+  fuzz_sweep(0xfeedf00d, 120, kJams, "slowfuzz");
 }
 
 }  // namespace

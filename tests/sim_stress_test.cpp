@@ -118,7 +118,7 @@ TEST(Stress, JammerBudgetExactlyExhausted) {
   // recover and drain; total jams == budget exactly.
   LowSensingFactory factory;
   BatchArrivals arrivals(300);
-  RandomJammer jammer(1.0, 5000, Rng(7));
+  RandomJammer jammer(1.0, 5000, CounterRng(7));
   RunConfig cfg;
   cfg.seed = 7;
   EventEngine engine(factory, arrivals, jammer, cfg);
@@ -150,7 +150,7 @@ TEST(Stress, WindowGrowthBoundedUnderPermanentJam) {
   // get rarer as w grows) — guards against runaway float overflow.
   LowSensingFactory factory;
   BatchArrivals arrivals(10);
-  RandomJammer jammer(1.0, 0, Rng(9));
+  RandomJammer jammer(1.0, 0, CounterRng(9));
   RunConfig cfg;
   cfg.seed = 9;
   cfg.max_active_slots = 1000000;
