@@ -12,13 +12,12 @@
 // lingering packets have large windows and repair them only slowly —
 // while still completing everything (Θ(1) throughput).
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 #include "protocols/registry.hpp"
 
 using namespace lowsense;
@@ -53,29 +52,67 @@ struct FairnessRow {
   double tp = 0.0;
 };
 
-FairnessRow measure(const std::string& proto, std::uint64_t n, double jam_rate,
-                    std::uint64_t seed, int reps) {
-  FairnessRow acc;
+FairnessRow measure(BenchContext& ctx, const std::string& proto, std::uint64_t n,
+                    double jam_rate) {
+  struct RepOutcome {
+    double jain = 0.0, p50 = 0.0, p99 = 0.0, max = 0.0, tp = 0.0;
+    std::uint64_t active_slots = 0;
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<RepOutcome> outcomes =
+      ctx.map(static_cast<std::size_t>(ctx.reps()), [&](std::size_t i) {
+        Scenario s;
+        s.protocol = [proto] { return make_protocol(proto); };
+        s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
+        if (jam_rate > 0.0) {
+          const std::uint64_t jam_seed = ctx.jam_seed();
+          s.jammer = [jam_rate, jam_seed](std::uint64_t sd) {
+            return std::make_unique<RandomJammer>(jam_rate, 0, jammer_rng(jam_seed, sd, 0xfa1));
+          };
+        }
+        s.config.max_active_slots = 500ULL * n;
+        LatencyProbe probe;
+        const RunResult r =
+            ctx.run_one(std::move(s), ctx.seed() + static_cast<std::uint64_t>(i), {&probe});
+        std::sort(probe.latencies.begin(), probe.latencies.end());
+        RepOutcome out;
+        out.jain = jain_index(probe.latencies);
+        out.p50 = quantile_sorted(probe.latencies, 0.5);
+        out.p99 = quantile_sorted(probe.latencies, 0.99);
+        out.max = probe.latencies.empty() ? 0.0 : probe.latencies.back();
+        out.tp = r.throughput();
+        out.active_slots = r.counters.active_slots;
+        return out;
+      });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
   std::vector<double> jains, p50s, p99s, maxs, tps;
-  for (int i = 0; i < reps; ++i) {
-    Scenario s;
-    s.protocol = [proto] { return make_protocol(proto); };
-    s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
-    if (jam_rate > 0.0) {
-      s.jammer = [jam_rate](std::uint64_t sd) {
-        return std::make_unique<RandomJammer>(jam_rate, 0, CounterRng(sd, 0xfa1));
-      };
-    }
-    s.config.max_active_slots = 500ULL * n;
-    LatencyProbe probe;
-    const RunResult r = run_scenario(s, seed + static_cast<std::uint64_t>(i), {&probe});
-    std::sort(probe.latencies.begin(), probe.latencies.end());
-    jains.push_back(jain_index(probe.latencies));
-    p50s.push_back(quantile_sorted(probe.latencies, 0.5));
-    p99s.push_back(quantile_sorted(probe.latencies, 0.99));
-    maxs.push_back(probe.latencies.empty() ? 0.0 : probe.latencies.back());
-    tps.push_back(r.throughput());
+  std::uint64_t total_slots = 0;
+  for (const auto& o : outcomes) {
+    jains.push_back(o.jain);
+    p50s.push_back(o.p50);
+    p99s.push_back(o.p99);
+    maxs.push_back(o.max);
+    tps.push_back(o.tp);
+    total_slots += o.active_slots;
   }
+
+  ScenarioResult res;
+  res.name = proto + "/jam=" + Table::num(jam_rate, 2);
+  res.params = {{"proto", proto}, {"jam", Table::num(jam_rate, 2)}, {"n", std::to_string(n)}};
+  res.engine = engine_name(ctx.engine());
+  res.reps = ctx.reps();
+  res.metrics = {{"jain_index", Summary::of(jains)},
+                 {"latency_p50", Summary::of(p50s)},
+                 {"latency_p99", Summary::of(p99s)},
+                 {"latency_max", Summary::of(maxs)},
+                 {"throughput", Summary::of(tps)}};
+  res.total_active_slots = total_slots;
+  res.elapsed_sec = elapsed;
+  ctx.record(res);
+
+  FairnessRow acc;
   acc.jain = Summary::of(jains).median;
   acc.p50 = Summary::of(p50s).median;
   acc.p99 = Summary::of(p99s).median;
@@ -84,49 +121,52 @@ FairnessRow measure(const std::string& proto, std::uint64_t n, double jam_rate,
   return acc;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const std::uint64_t n = args.u64("n", 4096);
-  const int reps = static_cast<int>(args.u64("reps", 5));
-  const std::uint64_t seed = args.u64("seed", 10);
-
-  report_header("T10", "§6 Conclusion (open question)",
-                "LSB is not guaranteed fair: quantify the latency spread it trades for "
-                "energy efficiency");
+void body(BenchContext& ctx) {
+  const std::uint64_t n = ctx.u64("n");
 
   Table table({"protocol", "jam", "Jain idx", "p50 lat", "p99 lat", "max lat", "p99/p50",
                "tp"});
   FairnessRow lsb, mw;
   for (const std::string proto : {"low-sensing", "mw-full-sensing", "binary-exponential"}) {
     const std::uint64_t nn = proto == "mw-full-sensing" ? std::min<std::uint64_t>(n, 4096) : n;
-    const FairnessRow row = measure(proto, nn, 0.0, seed, reps);
+    const FairnessRow row = measure(ctx, proto, nn, 0.0);
     if (proto == "low-sensing") lsb = row;
     if (proto == "mw-full-sensing") mw = row;
     table.add_row({proto, "0", Table::num(row.jain, 3), Table::num(row.p50, 4),
                    Table::num(row.p99, 4), Table::num(row.max, 4),
                    Table::num(row.p99 / std::max(row.p50, 1.0), 3), Table::num(row.tp, 3)});
-    std::fflush(stdout);
   }
-  const FairnessRow jammed = measure("low-sensing", n, 0.3, seed, reps);
+  const FairnessRow jammed = measure(ctx, "low-sensing", n, 0.3);
   table.add_row({"low-sensing", "0.3", Table::num(jammed.jain, 3), Table::num(jammed.p50, 4),
                  Table::num(jammed.p99, 4), Table::num(jammed.max, 4),
                  Table::num(jammed.p99 / std::max(jammed.p50, 1.0), 3),
                  Table::num(jammed.tp, 3)});
 
-  report_table(table, "(batch N=" + std::to_string(n) +
-                          "; Jain index over per-packet completion rates, 1 = fair)");
+  ctx.table(table, "(batch N=" + std::to_string(n) +
+                       "; Jain index over per-packet completion rates, 1 = fair)");
 
-  report_check("LSB completes everything (tp Theta(1)) despite unfairness", lsb.tp > 0.15);
-  report_check("LSB latency tail heavier than full-sensing MW (p99/p50 larger)",
-               lsb.p99 / std::max(lsb.p50, 1.0) > mw.p99 / std::max(mw.p50, 1.0),
-               "lsb=" + Table::num(lsb.p99 / std::max(lsb.p50, 1.0), 3) +
-                   " mw=" + Table::num(mw.p99 / std::max(mw.p50, 1.0), 3));
-  report_check("jamming widens the LSB tail further",
-               jammed.p99 / std::max(jammed.p50, 1.0) >=
-                   lsb.p99 / std::max(lsb.p50, 1.0) * 0.8);
+  ctx.check("LSB completes everything (tp Theta(1)) despite unfairness", lsb.tp > 0.15);
+  ctx.check("LSB latency tail heavier than full-sensing MW (p99/p50 larger)",
+            lsb.p99 / std::max(lsb.p50, 1.0) > mw.p99 / std::max(mw.p50, 1.0),
+            "lsb=" + Table::num(lsb.p99 / std::max(lsb.p50, 1.0), 3) +
+                " mw=" + Table::num(mw.p99 / std::max(mw.p50, 1.0), 3));
+  ctx.check("jamming widens the LSB tail further",
+            jammed.p99 / std::max(jammed.p50, 1.0) >=
+                lsb.p99 / std::max(lsb.p50, 1.0) * 0.8);
+}
 
-  report_footer("T10");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T10";
+  def.paper_anchor = "§6 Conclusion (open question)";
+  def.claim =
+      "LSB is not guaranteed fair: quantify the latency spread it trades for "
+      "energy efficiency";
+  def.params = {BenchParam::u64("n", 4096, "batch size")};
+  def.default_reps = 5;
+  def.default_seed = 10;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

@@ -17,13 +17,12 @@
 // exponential) function of jamming for LSB. BEB, by contrast, inflates
 // super-linearly once jam bursts push its windows up.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 #include "protocols/registry.hpp"
 
 using namespace lowsense;
@@ -44,40 +43,80 @@ struct LatencyRow {
   bool drained = true;
 };
 
-LatencyRow measure(const std::string& proto, std::uint64_t n, double jam_per_packet,
-                   std::uint64_t seed, int reps) {
+LatencyRow measure(BenchContext& ctx, const std::string& proto, std::uint64_t n,
+                   double jam_per_packet, int reps) {
+  struct RepOutcome {
+    double p50 = 0.0, p99 = 0.0, on2 = 0.0, on8 = 0.0;
+    bool drained = true;
+    std::uint64_t active_slots = 0;
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<RepOutcome> outcomes =
+      ctx.map(static_cast<std::size_t>(reps), [&](std::size_t i) {
+        Scenario s;
+        s.protocol = [proto] { return make_protocol(proto); };
+        s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
+        if (jam_per_packet > 0.0) {
+          const auto budget =
+              static_cast<std::uint64_t>(jam_per_packet * static_cast<double>(n));
+          // Front-loaded jam burst: the worst moment (everyone still queued).
+          s.jammer = [budget](std::uint64_t) {
+            std::vector<Slot> jams;
+            jams.reserve(budget);
+            for (Slot t = 0; t < budget; ++t) jams.push_back(t);
+            return std::make_unique<ScheduleJammer>(std::move(jams));
+          };
+        }
+        s.config.max_active_slots = 2000ULL * n;
+        LatencyProbe probe;
+        const RunResult r =
+            ctx.run_one(std::move(s), ctx.seed() + static_cast<std::uint64_t>(i), {&probe});
+        std::sort(probe.latencies.begin(), probe.latencies.end());
+        RepOutcome out;
+        out.drained = r.drained;
+        out.p50 = quantile_sorted(probe.latencies, 0.5);
+        out.p99 = quantile_sorted(probe.latencies, 0.99);
+        const double nn = static_cast<double>(n);
+        double c2 = 0.0, c8 = 0.0;
+        for (double l : probe.latencies) {
+          c2 += l <= 2.0 * nn;
+          c8 += l <= 8.0 * nn;
+        }
+        out.on2 = c2 / nn;
+        out.on8 = c8 / nn;
+        out.active_slots = r.counters.active_slots;
+        return out;
+      });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
   std::vector<double> p50s, p99s, on2, on8;
   bool drained = true;
-  for (int i = 0; i < reps; ++i) {
-    Scenario s;
-    s.protocol = [proto] { return make_protocol(proto); };
-    s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
-    if (jam_per_packet > 0.0) {
-      const auto budget = static_cast<std::uint64_t>(jam_per_packet * static_cast<double>(n));
-      // Front-loaded jam burst: the worst moment (everyone still queued).
-      s.jammer = [budget](std::uint64_t) {
-        std::vector<Slot> jams;
-        jams.reserve(budget);
-        for (Slot t = 0; t < budget; ++t) jams.push_back(t);
-        return std::make_unique<ScheduleJammer>(std::move(jams));
-      };
-    }
-    s.config.max_active_slots = 2000ULL * n;
-    LatencyProbe probe;
-    const RunResult r = run_scenario(s, seed + static_cast<std::uint64_t>(i), {&probe});
-    drained &= r.drained;
-    std::sort(probe.latencies.begin(), probe.latencies.end());
-    p50s.push_back(quantile_sorted(probe.latencies, 0.5));
-    p99s.push_back(quantile_sorted(probe.latencies, 0.99));
-    const double nn = static_cast<double>(n);
-    double c2 = 0.0, c8 = 0.0;
-    for (double l : probe.latencies) {
-      c2 += l <= 2.0 * nn;
-      c8 += l <= 8.0 * nn;
-    }
-    on2.push_back(c2 / nn);
-    on8.push_back(c8 / nn);
+  std::uint64_t total_slots = 0;
+  for (const auto& o : outcomes) {
+    p50s.push_back(o.p50);
+    p99s.push_back(o.p99);
+    on2.push_back(o.on2);
+    on8.push_back(o.on8);
+    drained &= o.drained;
+    total_slots += o.active_slots;
   }
+
+  ScenarioResult res;
+  res.name = proto + "/J_N=" + Table::num(jam_per_packet, 2);
+  res.params = {{"proto", proto},
+                {"J_N", Table::num(jam_per_packet, 2)},
+                {"n", std::to_string(n)}};
+  res.engine = engine_name(ctx.engine());
+  res.reps = reps;
+  res.metrics = {{"latency_p50", Summary::of(p50s)},
+                 {"latency_p99", Summary::of(p99s)},
+                 {"ontime_2n", Summary::of(on2)},
+                 {"ontime_8n", Summary::of(on8)}};
+  res.total_active_slots = total_slots;
+  res.elapsed_sec = elapsed;
+  ctx.record(res);
+
   LatencyRow row;
   row.p50 = Summary::of(p50s).median;
   row.p99 = Summary::of(p99s).median;
@@ -87,34 +126,25 @@ LatencyRow measure(const std::string& proto, std::uint64_t n, double jam_per_pac
   return row;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const std::uint64_t n = args.u64("n", 2048);
-  const int reps = static_cast<int>(args.u64("reps", 3));
-  const std::uint64_t seed = args.u64("seed", 12);
-
-  report_header("T11", "§6 Conclusion (open direction: lateness vs jamming)",
-                "LSB lateness grows slowly (~linearly) in the jam volume; deadline hit-rates "
-                "degrade gracefully");
+void body(BenchContext& ctx) {
+  const std::uint64_t n = ctx.u64("n");
+  const int reps = ctx.reps();
 
   Table table({"J/N", "lsb p50", "lsb p99", "lsb D=2N", "lsb D=8N", "beb p50", "beb p99"});
   std::vector<double> jn_vals, lsb_p99;
   for (const double jn : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    const LatencyRow lsb = measure("low-sensing", n, jn, seed, reps);
-    const LatencyRow beb = measure("binary-exponential", n, jn, seed, std::max(reps / 2, 2));
+    const LatencyRow lsb = measure(ctx, "low-sensing", n, jn, reps);
+    const LatencyRow beb = measure(ctx, "binary-exponential", n, jn, std::max(reps / 2, 2));
     jn_vals.push_back(jn);
     lsb_p99.push_back(lsb.p99);
     table.add_row({Table::num(jn, 2), Table::num(lsb.p50, 4), Table::num(lsb.p99, 4),
                    Table::num(lsb.ontime2, 3), Table::num(lsb.ontime8, 3),
                    Table::num(beb.p50, 4),
                    beb.drained ? Table::num(beb.p99, 4) : Table::num(beb.p99, 4) + "+"});
-    std::fflush(stdout);
   }
 
-  report_table(table, "(batch N=" + std::to_string(n) +
-                          "; front-loaded jam burst of J slots; '+' = horizon-truncated)");
+  ctx.table(table, "(batch N=" + std::to_string(n) +
+                       "; front-loaded jam burst of J slots; '+' = horizon-truncated)");
 
   // Shape: p99 lateness grows ~linearly in J (slope finite, fit good),
   // i.e. lateness is a slow-growing function of jamming.
@@ -122,13 +152,25 @@ int main(int argc, char** argv) {
   for (double jn : jn_vals) jslots.push_back(jn * static_cast<double>(n) + 1.0);
   const LinearFit fit = fit_linear(jslots, lsb_p99);
   const PolylogFit power = fit_power(jslots, lsb_p99);
-  report_check("LSB p99 lateness ~ linear-or-milder in J (power exp <= 1.2)",
-               power.exponent <= 1.2, "exp=" + Table::num(power.exponent, 3));
-  report_check("LSB lateness fit is clean (R^2 > 0.85)", fit.r2 > 0.85,
-               "R^2=" + Table::num(fit.r2, 3));
-  report_check("8N-deadline hit-rate stays = 1.0 while J <= N",
-               true, "see D=8N column");
+  ctx.check("LSB p99 lateness ~ linear-or-milder in J (power exp <= 1.2)",
+            power.exponent <= 1.2, "exp=" + Table::num(power.exponent, 3));
+  ctx.check("LSB lateness fit is clean (R^2 > 0.85)", fit.r2 > 0.85,
+            "R^2=" + Table::num(fit.r2, 3));
+  ctx.check("8N-deadline hit-rate stays = 1.0 while J <= N", true, "see D=8N column");
+}
 
-  report_footer("T11");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T11";
+  def.paper_anchor = "§6 Conclusion (open direction: lateness vs jamming)";
+  def.claim =
+      "LSB lateness grows slowly (~linearly) in the jam volume; deadline hit-rates "
+      "degrade gracefully";
+  def.params = {BenchParam::u64("n", 2048, "batch size")};
+  def.default_reps = 3;
+  def.default_seed = 12;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

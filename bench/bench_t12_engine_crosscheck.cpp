@@ -1,0 +1,112 @@
+// T12 · engineering cross-check — trace equivalence of the two engines.
+//
+// Every jammer family now draws slot-keyed coins (CounterRng), so the
+// gap-skipping event engine and the slot-by-slot reference engine must
+// produce IDENTICAL runs — same counters, same per-packet access counts —
+// on every scenario, not merely equal distributions. This bench runs a
+// protocol × adversary grid through BOTH engines and diffs the results
+// exactly; the per-engine slots/s land in BENCH_T12.json, so the
+// regression tracker also watches the event engine's gap-skipping
+// advantage over time.
+//
+// Shape target: zero mismatches anywhere in the grid.
+#include <string>
+#include <vector>
+
+#include "harness/suite.hpp"
+#include "protocols/registry.hpp"
+
+using namespace lowsense;
+
+namespace {
+
+struct Cell {
+  const char* proto;
+  const char* jammer;  // parse_jammer_spec syntax
+};
+
+void body(BenchContext& ctx) {
+  const std::uint64_t n = ctx.u64("n");
+
+  const Cell kGrid[] = {
+      {"low-sensing", "none"},
+      {"low-sensing", "random:0.3"},
+      {"low-sensing", "burst:100,10"},
+      {"low-sensing", "band:0.5,4,512"},
+      {"low-sensing", "randband:0.5,4,0.5,512,0.25"},
+      {"low-sensing", "victim:0,64"},
+      {"low-sensing", "blanket:256"},
+      {"binary-exponential", "none"},
+      {"binary-exponential", "random:0.2"},
+      {"windowed-ethernet", "burst:64,8"},
+  };
+
+  Table table({"protocol", "jammer", "active slots", "successes", "jammed", "max acc",
+               "match"});
+  bool all_match = true;
+
+  for (const Cell& cell : kGrid) {
+    const auto jam_factory = parse_jammer_spec(cell.jammer, ctx.jam_seed());
+    Scenario s;
+    s.protocol = [proto = std::string(cell.proto)] { return make_protocol(proto); };
+    s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
+    s.jammer = jam_factory;
+    s.config.max_active_slots = 400ULL * n;
+
+    Replicates results[2];
+    for (const EngineKind engine : {EngineKind::kSlot, EngineKind::kEvent}) {
+      Scenario variant = s;
+      variant.name = std::string(cell.proto) + "/" + cell.jammer + "/" + engine_name(engine);
+      variant.engine = engine;
+      variant.engine_locked = true;  // each grid leg pins its own engine
+      results[engine == EngineKind::kEvent] =
+          ctx.run(std::move(variant),
+                  {{"proto", cell.proto}, {"jammer", cell.jammer},
+                   {"engine", engine_name(engine)}});
+    }
+
+    const Replicates& slot = results[0];
+    const Replicates& event = results[1];
+    bool match = slot.runs.size() == event.runs.size();
+    for (std::size_t i = 0; match && i < slot.runs.size(); ++i) {
+      const RunResult& a = slot.runs[i];
+      const RunResult& b = event.runs[i];
+      match &= a.counters.active_slots == b.counters.active_slots;
+      match &= a.counters.successes == b.counters.successes;
+      match &= a.counters.jammed_active_slots == b.counters.jammed_active_slots;
+      match &= a.max_accesses == b.max_accesses;
+      match &= a.peak_backlog == b.peak_backlog;
+      match &= a.drained == b.drained;
+      match &= a.access_stats.count() == b.access_stats.count();
+      match &= a.access_stats.sum() == b.access_stats.sum();
+    }
+    all_match &= match;
+
+    const RunResult& r0 = slot.runs.front();
+    table.add_row({cell.proto, cell.jammer, std::to_string(r0.counters.active_slots),
+                   std::to_string(r0.counters.successes),
+                   std::to_string(r0.counters.jammed_active_slots),
+                   std::to_string(r0.max_accesses), match ? "yes" : "NO"});
+  }
+
+  ctx.table(table, "(first replicate shown; match = every replicate bit-identical across "
+                   "slot and event engines)");
+
+  ctx.check("slot and event engines bit-identical across the whole grid", all_match);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T12";
+  def.paper_anchor = "engineering (trace equivalence)";
+  def.claim =
+      "every jammer family is trace-equivalent: slot and event engines produce "
+      "bit-identical runs on a protocol x adversary grid";
+  def.params = {BenchParam::u64("n", 1024, "batch size per grid cell")};
+  def.default_reps = 3;
+  def.default_seed = 21;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
+}

@@ -12,13 +12,10 @@
 //   * LSB >= BEB for all but the smallest N.
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
-#include "harness/parallel.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 #include "harness/sweep.hpp"
 #include "protocols/registry.hpp"
 
@@ -26,9 +23,9 @@ using namespace lowsense;
 
 namespace {
 
-Scenario batch_scenario(const std::string& proto, std::uint64_t n, EngineKind engine) {
+Scenario batch_scenario(const std::string& proto, std::uint64_t n) {
   Scenario s;
-  s.engine = engine;
+  s.name = proto + "/n=" + std::to_string(n);
   s.protocol = [proto, n] {
     if (proto == "aloha") {
       return make_protocol("aloha:" + std::to_string(1.0 / static_cast<double>(n)));
@@ -42,24 +39,9 @@ Scenario batch_scenario(const std::string& proto, std::uint64_t n, EngineKind en
   return s;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const unsigned lo = static_cast<unsigned>(args.u64("lo_exp", 6));
-  const unsigned hi = static_cast<unsigned>(args.u64("hi_exp", 15));
-  const int reps = static_cast<int>(args.u64("reps", 5));
-  const std::uint64_t seed = args.u64("seed", 1);
-  // --threads=0 means "use every core"; 1 (default) is the serial path.
-  const unsigned threads =
-      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
-  // --engine=slot runs the slot-by-slot reference engine instead of the
-  // event engine; both share the wheel index, so results are identical.
-  const EngineKind engine = parse_engine(args.str("engine", "event"));
-
-  report_header("T1", "Cor 1.4 + [23]",
-                "LSB: Theta(1) batch throughput; BEB: O(1/ln N); crossover early");
-  std::printf("engine: %s\n", engine_name(engine));
+void body(BenchContext& ctx) {
+  const auto lo = static_cast<unsigned>(ctx.u64("lo_exp"));
+  const auto hi = static_cast<unsigned>(ctx.u64("hi_exp"));
 
   const char* kProtocols[] = {"low-sensing", "binary-exponential", "mw-full-sensing", "aloha"};
   Table table({"N", "lsb", "beb", "mw", "aloha-genie"});
@@ -74,10 +56,11 @@ int main(int argc, char** argv) {
         row.push_back("-");
         continue;
       }
-      const int r = std::string(proto) == "binary-exponential" && n > 8192 ? std::max(reps / 2, 2)
-                                                                           : reps;
+      const int r = std::string(proto) == "binary-exponential" && n > 8192
+                        ? std::max(ctx.reps() / 2, 2)
+                        : ctx.reps();
       const Replicates result =
-          replicate_parallel(batch_scenario(proto, n, engine), r, threads, seed);
+          ctx.run(batch_scenario(proto, n), {{"proto", proto}, {"n", std::to_string(n)}}, r);
       const double tp = result.throughput().median;
       row.push_back(Table::num(tp, 3));
       if (std::string(proto) == "low-sensing") {
@@ -88,34 +71,44 @@ int main(int argc, char** argv) {
       if (std::string(proto) == "binary-exponential") beb_tp.push_back(tp);
     }
     table.add_row(row);
-    std::fflush(stdout);
   }
 
-  report_table(table, "(median overall throughput N/S across seeds)");
+  ctx.table(table, "(median overall throughput N/S across seeds)");
 
   // Shape checks.
   const double lsb_first = lsb_tp.front(), lsb_last = lsb_tp.back();
-  report_check("LSB throughput flat (last >= 0.6 * first)", lsb_last >= 0.6 * lsb_first,
-               "first=" + Table::num(lsb_first, 3) + " last=" + Table::num(lsb_last, 3));
+  ctx.check("LSB throughput flat (last >= 0.6 * first)", lsb_last >= 0.6 * lsb_first,
+            "first=" + Table::num(lsb_first, 3) + " last=" + Table::num(lsb_last, 3));
 
   const double floor = *std::min_element(lsb_tp.begin(), lsb_tp.end());
-  report_check("LSB throughput floor > 0.15", floor > 0.15, "floor=" + Table::num(floor, 3));
+  ctx.check("LSB throughput floor > 0.15", floor > 0.15, "floor=" + Table::num(floor, 3));
 
   const double beb_drop = beb_tp.back() / beb_tp.front();
-  report_check("BEB throughput decays (last < 0.75 * first)", beb_drop < 0.75,
-               "ratio=" + Table::num(beb_drop, 3));
+  ctx.check("BEB throughput decays (last < 0.75 * first)", beb_drop < 0.75,
+            "ratio=" + Table::num(beb_drop, 3));
 
   // BEB ~ c / ln N: correlation of throughput with 1/ln N should be strong.
   const LinearFit fit = fit_linear(inv_ln, beb_tp);
-  report_check("BEB ~ 1/ln N (R^2 > 0.7 vs 1/ln N)", fit.r2 > 0.7,
-               "R^2=" + Table::num(fit.r2, 3));
+  ctx.check("BEB ~ 1/ln N (R^2 > 0.7 vs 1/ln N)", fit.r2 > 0.7, "R^2=" + Table::num(fit.r2, 3));
 
   bool lsb_wins_late = true;
   for (std::size_t i = ns.size() / 2; i < ns.size(); ++i) {
     lsb_wins_late &= lsb_tp[i] > beb_tp[i];
   }
-  report_check("LSB beats BEB at scale (top half of sweep)", lsb_wins_late);
+  ctx.check("LSB beats BEB at scale (top half of sweep)", lsb_wins_late);
+}
 
-  report_footer("T1");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T1";
+  def.paper_anchor = "Cor 1.4 + [23]";
+  def.claim = "LSB: Theta(1) batch throughput; BEB: O(1/ln N); crossover early";
+  def.params = {BenchParam::u64("lo_exp", 6, "smallest batch size as a power of two"),
+                BenchParam::u64("hi_exp", 15, "largest batch size as a power of two")};
+  def.default_reps = 5;
+  def.default_seed = 1;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

@@ -7,13 +7,10 @@
 // collapses — see T1: energy and throughput must be read together).
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
-#include "harness/parallel.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 #include "harness/sweep.hpp"
 #include "metrics/energy.hpp"
 #include "protocols/registry.hpp"
@@ -24,41 +21,33 @@ namespace {
 
 Scenario batch_scenario(const std::string& proto, std::uint64_t n) {
   Scenario s;
+  s.name = proto + "/n=" + std::to_string(n);
   s.protocol = [proto] { return make_protocol(proto); };
   s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
   s.config.max_active_slots = 100ULL * n + 100000ULL;
   return s;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const unsigned lo = static_cast<unsigned>(args.u64("lo_exp", 6));
-  const unsigned hi = static_cast<unsigned>(args.u64("hi_exp", 15));
-  const int reps = static_cast<int>(args.u64("reps", 5));
-  const std::uint64_t seed = args.u64("seed", 2);
-  // --threads=0 means "use every core"; 1 (default) is the serial path.
-  const unsigned threads =
-      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
-
-  report_header("T2", "Thm 1.6 / 5.25",
-                "LSB: O(ln^4 N) channel accesses per packet; MW pays Theta(N) listens");
+void body(BenchContext& ctx) {
+  const auto lo = static_cast<unsigned>(ctx.u64("lo_exp"));
+  const auto hi = static_cast<unsigned>(ctx.u64("hi_exp"));
+  const int reps = ctx.reps();
 
   Table table({"N", "lsb mean", "lsb max", "ln^4 N", "mw mean", "beb mean (sends)"});
   std::vector<double> ns, lsb_mean, lsb_max, mw_mean;
 
   for (std::uint64_t n : pow2_sweep(lo, hi)) {
-    const Replicates lsb = replicate_parallel(batch_scenario("low-sensing", n), reps, threads, seed);
+    const KvList nparam{{"n", std::to_string(n)}};
+    const Replicates lsb = ctx.run(batch_scenario("low-sensing", n), nparam);
     // MW is O(N) per-packet * N packets = O(N^2) work in the engine;
     // cap its sweep to keep runtime sane (its linear growth is already
     // unambiguous well before the cap).
     const bool mw_ok = n <= 4096;
-    const Replicates mw = mw_ok ? replicate_parallel(batch_scenario("mw-full-sensing", n),
-                                                     std::max(reps / 2, 2), threads, seed)
+    const Replicates mw = mw_ok ? ctx.run(batch_scenario("mw-full-sensing", n), nparam,
+                                          std::max(reps / 2, 2))
                                 : Replicates{};
-    const Replicates beb = replicate_parallel(batch_scenario("binary-exponential", n),
-                                              std::max(reps / 2, 2), threads, seed);
+    const Replicates beb =
+        ctx.run(batch_scenario("binary-exponential", n), nparam, std::max(reps / 2, 2));
 
     const double l4 = std::pow(std::log(static_cast<double>(n)), 4.0);
     ns.push_back(static_cast<double>(n));
@@ -70,10 +59,9 @@ int main(int argc, char** argv) {
                    Table::num(lsb.max_accesses().median, 4), Table::num(l4, 4),
                    mw_ok ? Table::num(mw.mean_accesses().median, 4) : "-",
                    Table::num(beb.mean_accesses().median, 4)});
-    std::fflush(stdout);
   }
 
-  report_table(table, "(median across seeds; accesses = listens + sends)");
+  ctx.table(table, "(median across seeds; accesses = listens + sends)");
 
   // Shape checks.
   // 1. LSB max accesses within the ln^4 envelope with fixed constants.
@@ -81,33 +69,44 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < ns.size(); ++i) {
     within &= lsb_max[i] <= ln4_envelope(ns[i], 2.0, 50.0);
   }
-  report_check("LSB max accesses <= 2*ln^4(N)+50 across sweep", within);
+  ctx.check("LSB max accesses <= 2*ln^4(N)+50 across sweep", within);
 
   // 2. LSB growth is polylog, not power-law: fit both models.
   const PolylogFit power = fit_power(ns, lsb_mean);
-  report_check("LSB mean accesses sublinear (power exp < 0.45)", power.exponent < 0.45,
-               "power exp=" + Table::num(power.exponent, 3));
+  ctx.check("LSB mean accesses sublinear (power exp < 0.45)", power.exponent < 0.45,
+            "power exp=" + Table::num(power.exponent, 3));
   const PolylogFit poly = fit_polylog(ns, lsb_mean);
-  report_check("LSB mean accesses ~ polylog (ln-exp <= 4.5, R^2 > 0.9)",
-               poly.exponent <= 4.5 && poly.r2 > 0.9,
-               "ln-exp=" + Table::num(poly.exponent, 3) + " R^2=" + Table::num(poly.r2, 3));
+  ctx.check("LSB mean accesses ~ polylog (ln-exp <= 4.5, R^2 > 0.9)",
+            poly.exponent <= 4.5 && poly.r2 > 0.9,
+            "ln-exp=" + Table::num(poly.exponent, 3) + " R^2=" + Table::num(poly.r2, 3));
 
   // 3. MW pays ~linear accesses.
   if (mw_mean.size() >= 3) {
     const std::vector<double> mw_ns(ns.begin(), ns.begin() + mw_mean.size());
     const PolylogFit mw_power = fit_power(mw_ns, mw_mean);
-    report_check("MW mean accesses ~ linear (power exp > 0.8)", mw_power.exponent > 0.8,
-                 "power exp=" + Table::num(mw_power.exponent, 3));
+    ctx.check("MW mean accesses ~ linear (power exp > 0.8)", mw_power.exponent > 0.8,
+              "power exp=" + Table::num(mw_power.exponent, 3));
   }
 
   // 4. Crossover: LSB cheaper than MW by a widening factor.
   if (!mw_mean.empty()) {
     const std::size_t k = mw_mean.size() - 1;
-    report_check("LSB cheaper than MW at largest common N (4x)",
-                 lsb_mean[k] * 4.0 < mw_mean[k],
-                 "lsb=" + Table::num(lsb_mean[k], 4) + " mw=" + Table::num(mw_mean[k], 4));
+    ctx.check("LSB cheaper than MW at largest common N (4x)", lsb_mean[k] * 4.0 < mw_mean[k],
+              "lsb=" + Table::num(lsb_mean[k], 4) + " mw=" + Table::num(mw_mean[k], 4));
   }
+}
 
-  report_footer("T2");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T2";
+  def.paper_anchor = "Thm 1.6 / 5.25";
+  def.claim = "LSB: O(ln^4 N) channel accesses per packet; MW pays Theta(N) listens";
+  def.params = {BenchParam::u64("lo_exp", 6, "smallest batch size as a power of two"),
+                BenchParam::u64("hi_exp", 15, "largest batch size as a power of two")};
+  def.default_reps = 5;
+  def.default_seed = 2;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

@@ -9,13 +9,10 @@
 // counts stay inside the polylog envelope in N+J, for every jam level.
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
-#include "harness/parallel.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 #include "metrics/energy.hpp"
 #include "protocols/registry.hpp"
 
@@ -23,10 +20,10 @@ using namespace lowsense;
 
 namespace {
 
-Scenario jammed_scenario(std::uint64_t n, double jam_rate, bool burst, EngineKind engine,
-                         std::uint64_t jam_seed) {
+Scenario jammed_scenario(std::uint64_t n, double jam_rate, bool burst, std::uint64_t jam_seed) {
   Scenario s;
-  s.engine = engine;
+  s.name = std::string(burst ? "burst" : "random") + "/q=" + Table::num(jam_rate, 2) +
+           "/n=" + std::to_string(n);
   s.protocol = [] { return make_protocol("low-sensing"); };
   s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
   if (burst) {
@@ -48,21 +45,8 @@ Scenario jammed_scenario(std::uint64_t n, double jam_rate, bool burst, EngineKin
   return s;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const std::uint64_t n = args.u64("n", 4096);
-  const int reps = static_cast<int>(args.u64("reps", 5));
-  const std::uint64_t seed = args.u64("seed", 3);
-  const std::uint64_t jam_seed = args.u64("jam-seed", 0);
-  const unsigned threads =
-      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
-  const EngineKind engine = parse_engine(args.str("engine", "event"));
-
-  report_header("T3", "Cor 1.4 + Thm 1.6 with jamming",
-                "jam-credited throughput (T+J)/S stays Theta(1); accesses polylog in N+J");
-  std::printf("engine: %s\n", engine_name(engine));
+void body(BenchContext& ctx) {
+  const std::uint64_t n = ctx.u64("n");
 
   Table table({"jam", "kind", "J/N", "tp (T+J)/S", "raw T/S", "mean acc", "max acc",
                "2ln^4(N+J)+50", "drained"});
@@ -72,7 +56,8 @@ int main(int argc, char** argv) {
     for (const double q : {0.0, 0.1, 0.3, 0.5, 0.7}) {
       if (burst && q == 0.0) continue;
       const Replicates reps_result =
-          replicate_parallel(jammed_scenario(n, q, burst, engine, jam_seed), reps, threads, seed);
+          ctx.run(jammed_scenario(n, q, burst, ctx.jam_seed()),
+                  {{"kind", burst ? "burst" : "random"}, {"q", Table::num(q, 2)}});
       const Summary tp = reps_result.throughput();
       const Summary raw = reps_result.summarize([](const RunResult& r) {
         return r.counters.active_slots == 0
@@ -99,15 +84,25 @@ int main(int argc, char** argv) {
                      Table::num(tp.median, 3), Table::num(raw.median, 3),
                      Table::num(mean_acc.median, 4), Table::num(max_acc.median, 4),
                      Table::num(env, 4), all_drained ? "yes" : "no"});
-      std::fflush(stdout);
     }
   }
 
-  report_table(table, "(N=" + std::to_string(n) + ", medians across seeds)");
+  ctx.table(table, "(N=" + std::to_string(n) + ", medians across seeds)");
 
-  report_check("jam-credited throughput > 0.15 at every jam level", tp_ok);
-  report_check("max accesses within 2*ln^4(N+J)+50 at every jam level", energy_ok);
+  ctx.check("jam-credited throughput > 0.15 at every jam level", tp_ok);
+  ctx.check("max accesses within 2*ln^4(N+J)+50 at every jam level", energy_ok);
+}
 
-  report_footer("T3");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T3";
+  def.paper_anchor = "Cor 1.4 + Thm 1.6 with jamming";
+  def.claim = "jam-credited throughput (T+J)/S stays Theta(1); accesses polylog in N+J";
+  def.params = {BenchParam::u64("n", 4096, "batch size")};
+  def.default_reps = 5;
+  def.default_seed = 3;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

@@ -10,12 +10,10 @@
 // channel accesses grow ~polylog in S.
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 #include "harness/sweep.hpp"
 #include "protocols/registry.hpp"
 
@@ -26,6 +24,8 @@ namespace {
 Scenario aqt_scenario(double lambda, Slot s_gran, AqtPattern pattern, std::uint64_t packets,
                       bool jam) {
   Scenario s;
+  s.name = "S=" + std::to_string(s_gran) + "/" +
+           (pattern == AqtPattern::kFront ? "front" : "pulse") + (jam ? "/jam" : "");
   s.protocol = [] { return make_protocol("low-sensing"); };
   s.arrivals = [=](std::uint64_t seed) {
     return std::make_unique<AqtArrivals>(lambda, s_gran, pattern, packets, Rng::stream(seed, 4));
@@ -40,18 +40,10 @@ Scenario aqt_scenario(double lambda, Slot s_gran, AqtPattern pattern, std::uint6
   return s;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const double lambda = args.f64("lambda", 0.1);
-  const int reps = static_cast<int>(args.u64("reps", 3));
-  const std::uint64_t seed = args.u64("seed", 4);
-  const unsigned lo = static_cast<unsigned>(args.u64("lo_exp", 8));
-  const unsigned hi = static_cast<unsigned>(args.u64("hi_exp", 13));
-
-  report_header("T4", "Cor 1.5 + Thm 1.7",
-                "AQT arrivals (lambda,S): backlog O(S) at all times; accesses O(polylog S)");
+void body(BenchContext& ctx) {
+  const double lambda = ctx.f64("lambda");
+  const auto lo = static_cast<unsigned>(ctx.u64("lo_exp"));
+  const auto hi = static_cast<unsigned>(ctx.u64("hi_exp"));
 
   Table table({"S", "pattern", "jam", "peak backlog", "backlog/S", "mean acc", "max acc",
                "tp"});
@@ -64,7 +56,10 @@ int main(int argc, char** argv) {
     for (const AqtPattern pattern : {AqtPattern::kFront, AqtPattern::kPulse}) {
       for (const bool jam : {false, true}) {
         const Replicates r =
-            replicate(aqt_scenario(lambda, s_gran, pattern, packets, jam), reps, seed);
+            ctx.run(aqt_scenario(lambda, s_gran, pattern, packets, jam),
+                    {{"S", std::to_string(s_gran)},
+                     {"pattern", pattern == AqtPattern::kFront ? "front" : "pulse"},
+                     {"jam", jam ? "yes" : "no"}});
         const Summary backlog = r.peak_backlog();
         const Summary acc = r.mean_accesses();
         const Summary max_acc = r.max_accesses();
@@ -81,10 +76,9 @@ int main(int argc, char** argv) {
         }
       }
     }
-    std::fflush(stdout);
   }
 
-  report_table(table, "(lambda=" + Table::num(lambda, 2) + ", medians across seeds)");
+  ctx.table(table, "(lambda=" + Table::num(lambda, 2) + ", medians across seeds)");
 
   // Shape checks.
   // 1. Backlog O(S): the ratio backlog/S stays bounded (and backlog is
@@ -93,34 +87,46 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < svals.size(); ++i) {
     ratio_ok &= backlog_med[i] <= 4.0 * lambda * svals[i] + 8.0;
   }
-  report_check("peak backlog <= 4*lambda*S + 8 across sweep", ratio_ok);
+  ctx.check("peak backlog <= 4*lambda*S + 8 across sweep", ratio_ok);
 
   // 2. Backlog grows ~linearly in S (power exponent ~1).
   const PolylogFit power = fit_power(svals, backlog_med);
-  report_check("backlog ~ S (power exp in [0.75, 1.25])",
-               power.exponent > 0.75 && power.exponent < 1.25,
-               "exp=" + Table::num(power.exponent, 3));
+  ctx.check("backlog ~ S (power exp in [0.75, 1.25])",
+            power.exponent > 0.75 && power.exponent < 1.25,
+            "exp=" + Table::num(power.exponent, 3));
 
   // 3. Accesses ~polylog in S. Over this S range (per-window bursts of
   //    lambda*S packets) polylog growth registers as a ~0.5-0.6 power —
   //    far below the slope-1.0 the backlog shows on the SAME sweep — and
   //    an excellent ln^k fit with small k. Check both discriminators.
   const PolylogFit acc_power = fit_power(svals, acc_med);
-  report_check("mean accesses grow much slower than S (power exp < 0.7)",
-               acc_power.exponent < 0.7, "exp=" + Table::num(acc_power.exponent, 3));
+  ctx.check("mean accesses grow much slower than S (power exp < 0.7)",
+            acc_power.exponent < 0.7, "exp=" + Table::num(acc_power.exponent, 3));
   const PolylogFit acc_poly = fit_polylog(svals, acc_med);
-  report_check("mean accesses fit ln^k S with k <= 5.5 (R^2 > 0.9)",
-               acc_poly.exponent <= 5.5 && acc_poly.r2 > 0.9,
-               "k=" + Table::num(acc_poly.exponent, 3) + " R^2=" + Table::num(acc_poly.r2, 3));
+  ctx.check("mean accesses fit ln^k S with k <= 5.5 (R^2 > 0.9)",
+            acc_poly.exponent <= 5.5 && acc_poly.r2 > 0.9,
+            "k=" + Table::num(acc_poly.exponent, 3) + " R^2=" + Table::num(acc_poly.r2, 3));
   // 4. Max accesses within the Thm 1.7 envelope O(ln^4 S).
   bool env_ok = true;
   for (std::size_t i = 0; i < svals.size(); ++i) {
     const double l = std::log(svals[i]);
-    env_ok &= true;  // envelope computed against the same constants as T2
     env_ok &= acc_med[i] <= 2.0 * l * l * l * l + 50.0;
   }
-  report_check("mean accesses within 2*ln^4(S)+50", env_ok);
+  ctx.check("mean accesses within 2*ln^4(S)+50", env_ok);
+}
 
-  report_footer("T4");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T4";
+  def.paper_anchor = "Cor 1.5 + Thm 1.7";
+  def.claim = "AQT arrivals (lambda,S): backlog O(S) at all times; accesses O(polylog S)";
+  def.params = {BenchParam::f64("lambda", 0.1, "AQT arrival rate"),
+                BenchParam::u64("lo_exp", 8, "smallest AQT granularity S as a power of two"),
+                BenchParam::u64("hi_exp", 13, "largest AQT granularity S as a power of two")};
+  def.default_reps = 3;
+  def.default_seed = 4;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

@@ -13,13 +13,10 @@
 // even though the worst-case victim can be forced to pay O(J).
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
-#include "harness/parallel.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 #include "metrics/energy.hpp"
 #include "protocols/registry.hpp"
 
@@ -29,11 +26,10 @@ namespace {
 
 /// Completion time of a single packet attacked by a reactive victim
 /// jammer with the given budget (median across seeds).
-double victim_completion_time(const std::string& proto, std::uint64_t budget, int reps,
-                              unsigned threads, EngineKind engine, std::uint64_t seed,
+double victim_completion_time(BenchContext& ctx, const std::string& proto, std::uint64_t budget,
                               bool* all_drained) {
   Scenario s;
-  s.engine = engine;
+  s.name = proto + "/victim-budget=" + std::to_string(budget);
   s.protocol = [proto] { return make_protocol(proto); };
   s.arrivals = [](std::uint64_t) { return std::make_unique<BatchArrivals>(1); };
   s.jammer = [budget](std::uint64_t) {
@@ -43,7 +39,8 @@ double victim_completion_time(const std::string& proto, std::uint64_t budget, in
   // precisely the O(1/T) throughput collapse.
   s.config.max_active_slots = 40000000ULL;
 
-  const Replicates r = replicate_parallel(s, reps, threads, seed);
+  const Replicates r =
+      ctx.run(std::move(s), {{"proto", proto}, {"budget", std::to_string(budget)}});
   *all_drained = true;
   for (const auto& run : r.runs) *all_drained &= run.drained;
   return r.summarize([](const RunResult& run) {
@@ -52,63 +49,46 @@ double victim_completion_time(const std::string& proto, std::uint64_t budget, in
       .median;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const int reps = static_cast<int>(args.u64("reps", 5));
-  const std::uint64_t seed = args.u64("seed", 5);
-  const std::uint64_t n = args.u64("n", 2048);
-  const unsigned threads =
-      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
-  const EngineKind engine = parse_engine(args.str("engine", "event"));
-
-  report_header("T5", "Thm 1.9 + §1.3",
-                "reactive jam: BEB completion explodes ~exponentially in jam budget; "
-                "LSB stays ~linear; batch average accesses O((J/N+1) polylog)");
-  std::printf("engine: %s\n", engine_name(engine));
+void body(BenchContext& ctx) {
+  const std::uint64_t n = ctx.u64("n");
 
   // ---------------------------------------------------------- Part A
-  std::printf("-- Part A: single victim vs reactive victim-jammer --\n");
+  ctx.section("Part A: single victim vs reactive victim-jammer");
   Table ta({"jam budget T", "beb time", "lsb time", "beb done", "lsb done"});
   std::vector<double> budgets, beb_times, lsb_times;
   for (std::uint64_t budget : {2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
     bool beb_done = true, lsb_done = true;
-    const double beb = victim_completion_time("binary-exponential", budget, reps, threads, engine,
-                                              seed, &beb_done);
-    const double lsb =
-        victim_completion_time("low-sensing", budget, reps, threads, engine, seed, &lsb_done);
+    const double beb = victim_completion_time(ctx, "binary-exponential", budget, &beb_done);
+    const double lsb = victim_completion_time(ctx, "low-sensing", budget, &lsb_done);
     budgets.push_back(static_cast<double>(budget));
     beb_times.push_back(beb);
     lsb_times.push_back(lsb);
     ta.add_row({std::to_string(budget), Table::num(beb, 4), Table::num(lsb, 4),
                 beb_done ? "yes" : "NO (horizon)", lsb_done ? "yes" : "NO (horizon)"});
-    std::fflush(stdout);
   }
-  report_table(ta, "(median active slots until the victim succeeds)");
+  ctx.table(ta, "(median active slots until the victim succeeds)");
 
   // BEB time ~ 2^T: log2(time) grows ~linearly in budget with slope ~1.
   std::vector<double> log_beb;
   for (double t : beb_times) log_beb.push_back(std::log2(t));
   const LinearFit beb_fit = fit_linear(budgets, log_beb);
-  report_check("BEB completion ~ exp(jam budget) (log2-slope > 0.6)", beb_fit.slope > 0.6,
-               "slope=" + Table::num(beb_fit.slope, 3));
+  ctx.check("BEB completion ~ exp(jam budget) (log2-slope > 0.6)", beb_fit.slope > 0.6,
+            "slope=" + Table::num(beb_fit.slope, 3));
 
   // LSB time grows far slower: at the largest budget, LSB beats BEB by 10x+.
-  report_check("LSB recovers much faster than BEB at T=24",
-               lsb_times.back() * 10.0 < beb_times.back(),
-               "lsb=" + Table::num(lsb_times.back(), 4) +
-                   " beb=" + Table::num(beb_times.back(), 4));
+  ctx.check("LSB recovers much faster than BEB at T=24",
+            lsb_times.back() * 10.0 < beb_times.back(),
+            "lsb=" + Table::num(lsb_times.back(), 4) +
+                " beb=" + Table::num(beb_times.back(), 4));
 
   // ---------------------------------------------------------- Part B
-  std::printf("\n-- Part B: batch N=%llu vs reactive blanket jammer --\n",
-              static_cast<unsigned long long>(n));
+  ctx.section("Part B: batch N=" + std::to_string(n) + " vs reactive blanket jammer");
   Table tb({"J budget", "J/N", "mean acc", "max acc", "(J/N+1)ln^4", "tp"});
   bool avg_ok = true;
   for (const double jn_ratio : {0.0, 0.5, 1.0, 2.0, 4.0}) {
     const auto budget = static_cast<std::uint64_t>(jn_ratio * static_cast<double>(n));
     Scenario s;
-    s.engine = engine;
+    s.name = "blanket/J_N=" + Table::num(jn_ratio, 2);
     s.protocol = [] { return make_protocol("low-sensing"); };
     s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
     if (budget > 0) {
@@ -116,7 +96,8 @@ int main(int argc, char** argv) {
         return std::make_unique<ReactiveBlanketJammer>(budget);
       };
     }
-    const Replicates r = replicate_parallel(s, std::max(reps / 2, 2), threads, seed);
+    const Replicates r =
+        ctx.run(std::move(s), {{"J_N", Table::num(jn_ratio, 2)}}, std::max(ctx.reps() / 2, 2));
     const double mean_acc = r.mean_accesses().median;
     const double nj = static_cast<double>(n) * (1.0 + jn_ratio);
     const double envelope = (jn_ratio + 1.0) * ln4_envelope(nj, 0.5, 50.0);
@@ -124,11 +105,23 @@ int main(int argc, char** argv) {
     tb.add_row({std::to_string(budget), Table::num(jn_ratio, 2), Table::num(mean_acc, 4),
                 Table::num(r.max_accesses().median, 4), Table::num(envelope, 4),
                 Table::num(r.throughput().median, 3)});
-    std::fflush(stdout);
   }
-  report_table(tb, "(reactive blanket jammer: jams any slot with a sender, up to budget)");
-  report_check("average accesses within (J/N+1)*polylog envelope", avg_ok);
+  ctx.table(tb, "(reactive blanket jammer: jams any slot with a sender, up to budget)");
+  ctx.check("average accesses within (J/N+1)*polylog envelope", avg_ok);
+}
 
-  report_footer("T5");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T5";
+  def.paper_anchor = "Thm 1.9 + §1.3";
+  def.claim =
+      "reactive jam: BEB completion explodes ~exponentially in jam budget; "
+      "LSB stays ~linear; batch average accesses O((J/N+1) polylog)";
+  def.params = {BenchParam::u64("n", 2048, "Part B batch size")};
+  def.default_reps = 5;
+  def.default_seed = 5;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

@@ -10,33 +10,27 @@
 // and seeds clears a constant floor; per-packet accesses up to the horizon
 // stay polylog in N_t + J_t.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 #include "metrics/energy.hpp"
 #include "metrics/recorder.hpp"
 #include "protocols/registry.hpp"
 
 using namespace lowsense;
 
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const std::uint64_t horizon = args.u64("horizon", 400000);
-  const int reps = static_cast<int>(args.u64("reps", 5));
-  const std::uint64_t seed = args.u64("seed", 6);
-  const EngineKind engine = parse_engine(args.str("engine", "event"));
+namespace {
 
-  report_header("T6", "Thm 1.3 + Thm 1.8",
-                "implicit throughput (N_t+J_t)/S_t is Omega(1) at every checkpoint of an "
-                "infinite adversarial stream");
-  std::printf("engine: %s\n", engine_name(engine));
+void body(BenchContext& ctx) {
+  const std::uint64_t horizon = ctx.u64("horizon");
+  const int reps = ctx.reps();
+  const std::uint64_t seed = ctx.seed();
 
   Scenario s;
-  s.engine = engine;
+  s.name = "aqt-pulse+burst/horizon=" + std::to_string(horizon);
   s.protocol = [] { return make_protocol("low-sensing"); };
   s.arrivals = [](std::uint64_t sd) {
     return std::make_unique<AqtArrivals>(0.25, 1024, AqtPattern::kPulse, 1ULL << 62,
@@ -47,47 +41,93 @@ int main(int argc, char** argv) {
   };
   s.config.max_active_slots = horizon;
 
+  // One replicate per seed, each with its own Recorder; fanned out over
+  // the pool in seed order (results land in index order, so the table —
+  // and hence stdout — is byte-identical at any thread count).
+  struct RepOutcome {
+    RunResult result;
+    double min_tp = 0.0;
+    std::vector<SeriesPoint> series;
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<RepOutcome> outcomes = ctx.map(static_cast<std::size_t>(reps), [&](std::size_t i) {
+    Recorder rec(1.4);
+    RepOutcome out;
+    out.result = ctx.run_one(s, seed + static_cast<std::uint64_t>(i), {&rec});
+    out.min_tp = rec.min_implicit_throughput(512);
+    if (i == 0) out.series = rec.series();
+    return out;
+  });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
   Table table({"seed", "N_t", "J_t", "S_t", "min implicit tp", "final tp", "max acc",
                "ln^4(N+J)"});
   double global_min_tp = 1e300;
   bool energy_ok = true;
+  std::vector<double> min_tps, final_tps, max_accs;
+  std::uint64_t total_slots = 0;
 
-  std::vector<SeriesPoint> first_series;
   for (int i = 0; i < reps; ++i) {
-    Recorder rec(1.4);
-    const std::uint64_t sd = seed + static_cast<std::uint64_t>(i);
-    const RunResult r = run_scenario(s, sd, {&rec});
-    if (i == 0) first_series = rec.series();
-    const double min_tp = rec.min_implicit_throughput(512);
+    const RunResult& r = outcomes[static_cast<std::size_t>(i)].result;
+    const double min_tp = outcomes[static_cast<std::size_t>(i)].min_tp;
     global_min_tp = std::min(global_min_tp, min_tp);
     const double nj = static_cast<double>(r.counters.arrivals + r.counters.jammed_active_slots);
     energy_ok &= static_cast<double>(r.max_accesses) <= ln4_envelope(nj, 2.0, 50.0);
+    min_tps.push_back(min_tp);
+    final_tps.push_back(r.implicit_throughput());
+    max_accs.push_back(static_cast<double>(r.max_accesses));
+    total_slots += r.counters.active_slots;
+    const std::uint64_t sd = seed + static_cast<std::uint64_t>(i);
     table.add_row({std::to_string(sd), std::to_string(r.counters.arrivals),
                    std::to_string(r.counters.jammed_active_slots),
                    std::to_string(r.counters.active_slots), Table::num(min_tp, 3),
                    Table::num(r.implicit_throughput(), 3),
                    std::to_string(r.max_accesses),
                    Table::num(std::pow(std::log(nj), 4.0), 4)});
-    std::fflush(stdout);
   }
-  report_table(table);
+  ctx.table(table);
+
+  ScenarioResult rec_result;
+  rec_result.name = s.name;
+  rec_result.params = {{"horizon", std::to_string(horizon)}};
+  rec_result.engine = engine_name(ctx.engine());
+  rec_result.reps = reps;
+  rec_result.metrics = {{"min_implicit_throughput", Summary::of(min_tps)},
+                        {"implicit_throughput", Summary::of(final_tps)},
+                        {"max_accesses", Summary::of(max_accs)}};
+  rec_result.total_active_slots = total_slots;
+  rec_result.elapsed_sec = elapsed;
+  ctx.record(rec_result);
 
   // Time series of seed 0 (the figure's x-axis is S_t, log-spaced).
-  std::printf("-- implicit-throughput trajectory (seed %llu) --\n",
-              static_cast<unsigned long long>(seed));
+  ctx.section("implicit-throughput trajectory (seed " + std::to_string(seed) + ")");
   Table series({"S_t", "N_t", "J_t", "backlog", "implicit tp", "contention"});
-  for (const auto& p : first_series) {
+  for (const auto& p : outcomes.front().series) {
     if (p.active_slots < 256) continue;
     series.add_row({std::to_string(p.active_slots), std::to_string(p.arrivals),
                     std::to_string(p.jams), std::to_string(p.backlog),
                     Table::num(p.implicit_throughput, 3), Table::num(p.contention, 3)});
   }
-  report_table(series);
+  ctx.table(series);
 
-  report_check("implicit throughput > 0.1 at every checkpoint, every seed",
-               global_min_tp > 0.1, "min=" + Table::num(global_min_tp, 3));
-  report_check("max accesses within 2*ln^4(N_t+J_t)+50 at horizon", energy_ok);
+  ctx.check("implicit throughput > 0.1 at every checkpoint, every seed",
+            global_min_tp > 0.1, "min=" + Table::num(global_min_tp, 3));
+  ctx.check("max accesses within 2*ln^4(N_t+J_t)+50 at horizon", energy_ok);
+}
 
-  report_footer("T6");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T6";
+  def.paper_anchor = "Thm 1.3 + Thm 1.8";
+  def.claim =
+      "implicit throughput (N_t+J_t)/S_t is Omega(1) at every checkpoint of an "
+      "infinite adversarial stream";
+  def.params = {BenchParam::u64("horizon", 400000, "active-slot horizon per replicate")};
+  def.default_reps = 5;
+  def.default_seed = 6;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

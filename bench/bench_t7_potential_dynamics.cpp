@@ -12,13 +12,12 @@
 // Also exercises the adaptive contention-band jammer on the slot engine
 // (the adversary that spends noise exactly where successes were likely).
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 #include "metrics/potential.hpp"
 #include "protocols/registry.hpp"
 
@@ -52,16 +51,26 @@ IntervalStats analyze(const std::vector<IntervalRecord>& intervals) {
   return st;
 }
 
-}  // namespace
+/// Pools per-replicate interval stats: counts add, the drift averages
+/// weighted by clean-interval count, the worst gain is the max. With one
+/// replicate this is the identity.
+IntervalStats pool(const std::vector<IntervalStats>& per_rep) {
+  IntervalStats out;
+  double drift_weighted = 0.0;
+  for (const auto& st : per_rep) {
+    out.total += st.total;
+    out.clean += st.clean;
+    out.clean_decreasing += st.clean_decreasing;
+    drift_weighted += st.mean_clean_drift * st.clean;
+    out.worst_gain_vs_aj = std::max(out.worst_gain_vs_aj, st.worst_gain_vs_aj);
+  }
+  out.mean_clean_drift = out.clean > 0 ? drift_weighted / out.clean : 0.0;
+  return out;
+}
 
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const std::uint64_t n = args.u64("n", 8192);
-  const std::uint64_t seed = args.u64("seed", 7);
-
-  report_header("T7", "§4.2 + Thm 5.18 + Cor 5.22",
-                "Phi decreases Omega(tau) per clean interval; jumps bounded by O(A+J); "
-                "Phi_max = O(N+J)");
+void body(BenchContext& ctx) {
+  const std::uint64_t n = ctx.u64("n");
+  const int reps = ctx.reps();
 
   Table table({"scenario", "intervals", "clean", "% clean decr.", "mean drift/slot",
                "Phi_max", "Phi_max/(N+J)", "worst jump-8(A+J)"});
@@ -76,49 +85,106 @@ int main(int argc, char** argv) {
   for (const Case c : {Case{"batch-clean", false, false}, Case{"batch+burst-jam", true, false},
                        Case{"batch+adaptive-jam", true, true}}) {
     Scenario s;
+    s.name = c.name;
     s.protocol = [] { return make_protocol("low-sensing"); };
     s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
-    std::uint64_t jam_budget = 0;
     if (c.jam && !c.adaptive) {
       s.jammer = [](std::uint64_t) { return std::make_unique<BurstJammer>(2000, 300); };
     } else if (c.adaptive) {
-      jam_budget = n / 2;
       // Adaptive adversary: jam exactly when contention is in the good
-      // band (successes likely). Requires the slot engine.
+      // band (successes likely). Requires the slot engine, so this case
+      // is pinned there regardless of --engine=.
+      const std::uint64_t jam_budget = n / 2;
       s.jammer = [jam_budget](std::uint64_t) {
         return std::make_unique<ContentionBandJammer>(0.5, 4.0, jam_budget);
       };
       s.engine = EngineKind::kSlot;
+      s.engine_locked = true;
     }
     s.config.max_active_slots = 200ULL * n;
 
-    PotentialTracker phi;
-    const RunResult r = run_scenario(s, seed, {&phi});
-    const IntervalStats st = analyze(phi.intervals());
-    const double nj = static_cast<double>(n + r.counters.jammed_active_slots);
-    const double ratio = phi.max_phi_seen() / nj;
+    struct RepOutcome {
+      IntervalStats stats;
+      double phi_max = 0.0;
+      double ratio = 0.0;
+      std::uint64_t active_slots = 0;
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<RepOutcome> outcomes =
+        ctx.map(static_cast<std::size_t>(reps), [&](std::size_t i) {
+          PotentialTracker phi;
+          const RunResult r =
+              ctx.run_one(s, ctx.seed() + static_cast<std::uint64_t>(i), {&phi});
+          RepOutcome out;
+          out.stats = analyze(phi.intervals());
+          out.phi_max = phi.max_phi_seen();
+          out.ratio = phi.max_phi_seen() /
+                      static_cast<double>(n + r.counters.jammed_active_slots);
+          out.active_slots = r.counters.active_slots;
+          return out;
+        });
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    std::vector<IntervalStats> stats;
+    std::vector<double> phi_maxes, ratios, drifts;
+    std::uint64_t total_slots = 0;
+    for (const auto& o : outcomes) {
+      stats.push_back(o.stats);
+      phi_maxes.push_back(o.phi_max);
+      ratios.push_back(o.ratio);
+      drifts.push_back(o.stats.mean_clean_drift);
+      total_slots += o.active_slots;
+    }
+    const IntervalStats st = pool(stats);
+    const double phi_max = Summary::of(phi_maxes).median;
+    const double ratio = Summary::of(ratios).median;
 
     table.add_row({c.name, std::to_string(st.total), std::to_string(st.clean),
                    st.clean ? Table::num(100.0 * st.clean_decreasing / st.clean, 3) : "-",
-                   Table::num(st.mean_clean_drift, 3), Table::num(phi.max_phi_seen(), 4),
+                   Table::num(st.mean_clean_drift, 3), Table::num(phi_max, 4),
                    Table::num(ratio, 3), Table::num(st.worst_gain_vs_aj, 4)});
+
+    ScenarioResult res;
+    res.name = c.name;
+    res.params = {{"case", c.name}, {"n", std::to_string(n)}};
+    res.engine = engine_name(c.adaptive ? EngineKind::kSlot : ctx.engine());
+    res.reps = reps;
+    res.metrics = {{"phi_max", Summary::of(phi_maxes)},
+                   {"phi_max_over_nj", Summary::of(ratios)},
+                   {"mean_clean_drift", Summary::of(drifts)}};
+    res.total_active_slots = total_slots;
+    res.elapsed_sec = elapsed;
+    ctx.record(res);
 
     if (!c.jam) {
       clean_ok &= st.clean > 10 && st.clean_decreasing > 0.65 * st.clean;
       drift_ok &= st.mean_clean_drift < -0.05;
     }
     linear_ok &= ratio < 30.0;
-    std::fflush(stdout);
   }
 
-  report_table(table,
-               "(drift/slot = ΔΦ/τ; 'worst jump' positive means an interval gained more than "
-               "8(A+J) — Thm 5.18's failure event)");
+  ctx.table(table,
+            "(drift/slot = ΔΦ/τ; 'worst jump' positive means an interval gained more than "
+            "8(A+J) — Thm 5.18's failure event)");
 
-  report_check("clean intervals decrease Phi >65% of the time", clean_ok);
-  report_check("mean clean drift < -0.05 per slot (Omega(tau) decrease)", drift_ok);
-  report_check("Phi_max = O(N+J) with constant < 30", linear_ok);
+  ctx.check("clean intervals decrease Phi >65% of the time", clean_ok);
+  ctx.check("mean clean drift < -0.05 per slot (Omega(tau) decrease)", drift_ok);
+  ctx.check("Phi_max = O(N+J) with constant < 30", linear_ok);
+}
 
-  report_footer("T7");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T7";
+  def.paper_anchor = "§4.2 + Thm 5.18 + Cor 5.22";
+  def.claim =
+      "Phi decreases Omega(tau) per clean interval; jumps bounded by O(A+J); "
+      "Phi_max = O(N+J)";
+  def.params = {BenchParam::u64("n", 8192, "batch size")};
+  def.default_reps = 1;
+  def.default_seed = 7;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

@@ -8,26 +8,22 @@
 // two orders of magnitude, (a) the bettor goes broke w.h.p., (b) within
 // O(P) resolved bet volume, (c) with max wealth O(P).
 #include <algorithm>
-#include <cstdio>
+#include <chrono>
 #include <string>
 #include <vector>
 
 #include "betting/betting_game.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 
 using namespace lowsense;
 
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const int reps = static_cast<int>(args.u64("reps", 200));
-  const std::uint64_t seed = args.u64("seed", 8);
+namespace {
 
-  report_header("T8", "§5.5 / Lemma 5.20",
-                "bettor goes broke w.h.p. within O(P) bet volume, max wealth O(P), for "
-                "every bet-sizing policy");
+void body(BenchContext& ctx) {
+  const int reps = ctx.reps();
+  const std::uint64_t seed = ctx.seed();
 
   const BettingParams params;
   Table table({"P", "policy", "% broke", "median volume/P", "p99 volume/P",
@@ -37,15 +33,32 @@ int main(int argc, char** argv) {
 
   for (const double p_income : {250.0, 1000.0, 4000.0, 16000.0}) {
     for (int pol = 0; pol < 4; ++pol) {
-      const BettingPolicy policy = pol == 0   ? BettingPolicy::minimum()
-                                   : pol == 1 ? BettingPolicy::fixed(64.0)
-                                   : pol == 2 ? BettingPolicy::proportional()
-                                              : BettingPolicy::random(seed);
+      // Games fan out over the pool; each game builds its OWN policy (the
+      // random policy carries rng state) with a per-game salt, so game i
+      // is a pure function of (seed, i, pol) and serial/parallel runs are
+      // bit-identical.
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::vector<BettingOutcome> games =
+          ctx.map(static_cast<std::size_t>(reps), [&](std::size_t idx) {
+            const int i = static_cast<int>(idx);
+            const auto game_stream = static_cast<std::uint64_t>(i * 4 + pol);
+            const BettingPolicy policy =
+                pol == 0   ? BettingPolicy::minimum()
+                : pol == 1 ? BettingPolicy::fixed(64.0)
+                : pol == 2 ? BettingPolicy::proportional()
+                           : BettingPolicy::random(seed + game_stream);
+            return play_betting_game(params, policy, p_income, Rng::stream(seed, game_stream));
+          });
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+      const std::string policy_name = pol == 0   ? "minimum"
+                                      : pol == 1 ? "fixed"
+                                      : pol == 2 ? "proportional"
+                                                 : "random";
       int broke = 0;
       std::vector<double> volumes, wealths;
-      for (int i = 0; i < reps; ++i) {
-        const BettingOutcome out = play_betting_game(
-            params, policy, p_income, Rng::stream(seed, static_cast<std::uint64_t>(i * 4 + pol)));
+      for (const BettingOutcome& out : games) {
         broke += out.broke;
         if (out.broke) volumes.push_back(out.volume_played / p_income);
         wealths.push_back(out.max_wealth / p_income);
@@ -53,7 +66,7 @@ int main(int argc, char** argv) {
       const double pct = 100.0 * broke / reps;
       const Summary vol = Summary::of(volumes);
       const Summary wl = Summary::of(wealths);
-      table.add_row({Table::num(p_income, 5), policy.name, Table::num(pct, 4),
+      table.add_row({Table::num(p_income, 5), policy_name, Table::num(pct, 4),
                      Table::num(vol.median, 3), Table::num(vol.p99, 3),
                      Table::num(wl.median, 3), Table::num(wl.max, 3)});
       broke_ok &= pct >= 95.0;
@@ -62,17 +75,39 @@ int main(int argc, char** argv) {
       // 5.19 bonus spike, so the O(P) wealth check uses the 99th
       // percentile rather than the single worst game.
       wealth_ok &= wl.p99 < 8.0;
+
+      ScenarioResult res;
+      res.name = "P=" + Table::num(p_income, 5) + "/" + policy_name;
+      res.params = {{"P", Table::num(p_income, 5)}, {"policy", policy_name}};
+      res.engine = "none";  // the betting game runs no channel engine
+      res.reps = reps;
+      res.metrics = {{"pct_broke", Summary::of({pct})},
+                     {"volume_over_p", vol},
+                     {"max_wealth_over_p", wl}};
+      res.elapsed_sec = elapsed;
+      ctx.record(res);
     }
-    std::fflush(stdout);
   }
 
-  report_table(table, "(volume and wealth normalized by P; " + std::to_string(reps) +
-                          " games per cell)");
+  ctx.table(table, "(volume and wealth normalized by P; " + std::to_string(reps) +
+                       " games per cell)");
 
-  report_check(">=95% of games end broke (w.h.p. claim)", broke_ok);
-  report_check("median broke volume <= 4P (O(P) claim)", volume_ok);
-  report_check("p99 max-wealth <= 8P (O(P) w.h.p. claim)", wealth_ok);
+  ctx.check(">=95% of games end broke (w.h.p. claim)", broke_ok);
+  ctx.check("median broke volume <= 4P (O(P) claim)", volume_ok);
+  ctx.check("p99 max-wealth <= 8P (O(P) w.h.p. claim)", wealth_ok);
+}
 
-  report_footer("T8");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T8";
+  def.paper_anchor = "§5.5 / Lemma 5.20";
+  def.claim =
+      "bettor goes broke w.h.p. within O(P) bet volume, max wealth O(P), for "
+      "every bet-sizing policy";
+  def.default_reps = 200;
+  def.default_seed = 8;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

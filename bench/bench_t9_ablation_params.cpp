@@ -16,44 +16,31 @@
 //   * w_min ∈ {8..1024} and the backon floor on/off.
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
-#include "harness/parallel.hpp"
-#include "harness/report.hpp"
+#include "harness/suite.hpp"
 #include "protocols/low_sensing.hpp"
 
 using namespace lowsense;
 
 namespace {
 
-Scenario lsb_scenario(const LowSensingParams& params, std::uint64_t n) {
+Scenario lsb_scenario(const LowSensingParams& params, std::uint64_t n, std::string name) {
   Scenario s;
+  s.name = std::move(name);
   s.protocol = [params] { return std::make_unique<LowSensingFactory>(params); };
   s.arrivals = [n](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
   s.config.max_active_slots = 500ULL * n;
   return s;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
-  const std::uint64_t n = args.u64("n", 4096);
-  const int reps = static_cast<int>(args.u64("reps", 5));
-  const std::uint64_t seed = args.u64("seed", 9);
-  // --threads=0 means "use every core"; 1 (default) is the serial path.
-  const unsigned threads =
-      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
-
-  report_header("T9", "§3 ablations",
-                "throughput robust across c and w_min; the ln^3 listen boost buys "
-                "fast recovery without sacrificing energy");
+void body(BenchContext& ctx) {
+  const std::uint64_t n = ctx.u64("n");
+  const int reps = ctx.reps();
 
   // ------------------------------------------------ listen exponent sweep
-  std::printf("-- listen exponent (the ln^e boost; paper: e=3) --\n");
+  ctx.section("listen exponent (the ln^e boost; paper: e=3)");
   Table te({"e", "tp", "mean acc", "max acc", "p99 latency", "drained"});
   double tp_e3 = 0.0, acc_e3 = 0.0;
   std::vector<double> tp_by_e;
@@ -62,7 +49,8 @@ int main(int argc, char** argv) {
     p.listen_exponent = e;
     // Keep c*ln^e(w_min) <= w_min so probabilities stay unclamped.
     p.w_min = e >= 4 ? 64.0 : 16.0;
-    const Replicates r = replicate_parallel(lsb_scenario(p, n), reps, threads, seed);
+    const Replicates r = ctx.run(lsb_scenario(p, n, "e=" + std::to_string(e)),
+                                 {{"listen_exponent", std::to_string(e)}});
     bool drained = true;
     for (const auto& run : r.runs) drained &= run.drained;
     const Summary lat = r.summarize([](const RunResult& rr) {
@@ -77,12 +65,11 @@ int main(int argc, char** argv) {
     te.add_row({std::to_string(e), Table::num(tp, 3), Table::num(r.mean_accesses().median, 4),
                 Table::num(r.max_accesses().median, 4), Table::num(lat.median, 4),
                 drained ? "yes" : "NO"});
-    std::fflush(stdout);
   }
-  report_table(te);
+  ctx.table(te);
 
   // ------------------------------------------------------------- c sweep
-  std::printf("\n-- constant c (paper: 'sufficiently large') --\n");
+  ctx.section("constant c (paper: 'sufficiently large')");
   Table tc({"c", "tp", "mean acc", "max acc"});
   std::vector<double> tp_by_c;
   for (double c : {0.25, 0.5, 1.0, 2.0, 4.0}) {
@@ -90,17 +77,17 @@ int main(int argc, char** argv) {
     p.c = c;
     // Unclamped listen prob needs c*ln^3(w_min) <= w_min.
     p.w_min = c <= 0.5 ? 16.0 : (c <= 1.0 ? 128.0 : 2048.0);
-    const Replicates r = replicate_parallel(lsb_scenario(p, n), reps, threads, seed);
+    const Replicates r =
+        ctx.run(lsb_scenario(p, n, "c=" + Table::num(c, 3)), {{"c", Table::num(c, 3)}});
     tp_by_c.push_back(r.throughput().median);
     tc.add_row({Table::num(c, 3), Table::num(r.throughput().median, 3),
                 Table::num(r.mean_accesses().median, 4),
                 Table::num(r.max_accesses().median, 4)});
-    std::fflush(stdout);
   }
-  report_table(tc);
+  ctx.table(tc);
 
   // -------------------------------------------------------- w_min sweep
-  std::printf("\n-- w_min and the backon floor --\n");
+  ctx.section("w_min and the backon floor");
   Table tw({"w_min", "floor", "tp", "mean acc", "peak window"});
   std::vector<double> tp_by_w;
   for (double w : {8.0, 16.0, 64.0, 256.0, 1024.0}) {
@@ -109,19 +96,20 @@ int main(int argc, char** argv) {
       p.w_min = w;
       p.c = 0.25;  // keeps c*ln^3(w_min) <= w_min down to w_min=8
       p.backon_floor = floor_on;
-      const Replicates r = replicate_parallel(lsb_scenario(p, n), reps, threads, seed);
+      const Replicates r = ctx.run(
+          lsb_scenario(p, n, "w_min=" + Table::num(w, 4) + (floor_on ? "/floor" : "/no-floor")),
+          {{"w_min", Table::num(w, 4)}, {"floor", floor_on ? "on" : "off"}});
       if (floor_on) tp_by_w.push_back(r.throughput().median);
       const Summary wmax = r.summarize([](const RunResult& rr) { return rr.max_window_seen; });
       tw.add_row({Table::num(w, 4), floor_on ? "on" : "off",
                   Table::num(r.throughput().median, 3),
                   Table::num(r.mean_accesses().median, 4), Table::num(wmax.median, 5)});
     }
-    std::fflush(stdout);
   }
-  report_table(tw);
+  ctx.table(tw);
 
   // ------------------------------------------ feedback-model ablation
-  std::printf("\n-- ternary feedback vs no collision detection [28,40,62,100] --\n");
+  ctx.section("ternary feedback vs no collision detection [28,40,62,100]");
   Table tf({"feedback", "tp", "delivered", "mean acc", "peak window"});
   double tp_ternary = 0.0, tp_nocd = 0.0;
   for (const bool nocd : {false, true}) {
@@ -130,9 +118,11 @@ int main(int argc, char** argv) {
     // Smaller batch + tight horizon: the no-CD death spiral would
     // otherwise stall the run for its full budget.
     const std::uint64_t n_fb = n / 4;
-    Scenario sc = lsb_scenario(p, n_fb);
+    Scenario sc = lsb_scenario(p, n_fb, nocd ? "feedback=success-only" : "feedback=ternary");
     sc.config.max_active_slots = 100ULL * n_fb;
-    const Replicates r = replicate_parallel(sc, std::max(reps / 2, 2), threads, seed);
+    const Replicates r = ctx.run(std::move(sc),
+                                 {{"feedback", nocd ? "success-only" : "ternary"}},
+                                 std::max(reps / 2, 2));
     const Summary delivered = r.summarize([](const RunResult& rr) {
       return static_cast<double>(rr.counters.successes);
     });
@@ -141,30 +131,42 @@ int main(int argc, char** argv) {
     tf.add_row({nocd ? "success-only" : "ternary", Table::num(r.throughput().median, 3),
                 Table::num(delivered.median, 4) + "/" + std::to_string(n_fb),
                 Table::num(r.mean_accesses().median, 4), Table::num(wmax.median, 5)});
-    std::fflush(stdout);
   }
-  report_table(tf, "(success-only feedback cannot distinguish silence from noise; "
-                   "lingering packets back off forever)");
+  ctx.table(tf, "(success-only feedback cannot distinguish silence from noise; "
+                "lingering packets back off forever)");
 
   // Shape checks.
   const double tp_e_min = *std::min_element(tp_by_e.begin() + 1, tp_by_e.end());
-  report_check("paper's e=3 achieves Theta(1) throughput", tp_e3 > 0.15,
-               "tp=" + Table::num(tp_e3, 3));
-  report_check("all boosts e>=1 sustain tp > 0.1", tp_e_min > 0.1,
-               "min=" + Table::num(tp_e_min, 3));
-  report_check("e=3 keeps a finite energy budget (reported above)", acc_e3 > 0.0,
-               "mean acc=" + Table::num(acc_e3, 4));
+  ctx.check("paper's e=3 achieves Theta(1) throughput", tp_e3 > 0.15,
+            "tp=" + Table::num(tp_e3, 3));
+  ctx.check("all boosts e>=1 sustain tp > 0.1", tp_e_min > 0.1,
+            "min=" + Table::num(tp_e_min, 3));
+  ctx.check("e=3 keeps a finite energy budget (reported above)", acc_e3 > 0.0,
+            "mean acc=" + Table::num(acc_e3, 4));
 
   const double c_min = *std::min_element(tp_by_c.begin(), tp_by_c.end());
-  report_check("throughput robust across 16x range of c (min tp > 0.1)", c_min > 0.1,
-               "min=" + Table::num(c_min, 3));
+  ctx.check("throughput robust across 16x range of c (min tp > 0.1)", c_min > 0.1,
+            "min=" + Table::num(c_min, 3));
   const double w_min_tp = *std::min_element(tp_by_w.begin(), tp_by_w.end());
-  report_check("throughput robust across 128x range of w_min (min tp > 0.1)", w_min_tp > 0.1,
-               "min=" + Table::num(w_min_tp, 3));
-  report_check("ternary feedback clearly beats success-only feedback",
-               tp_ternary > 1.5 * tp_nocd,
-               "ternary=" + Table::num(tp_ternary, 3) + " no-CD=" + Table::num(tp_nocd, 3));
+  ctx.check("throughput robust across 128x range of w_min (min tp > 0.1)", w_min_tp > 0.1,
+            "min=" + Table::num(w_min_tp, 3));
+  ctx.check("ternary feedback clearly beats success-only feedback",
+            tp_ternary > 1.5 * tp_nocd,
+            "ternary=" + Table::num(tp_ternary, 3) + " no-CD=" + Table::num(tp_nocd, 3));
+}
 
-  report_footer("T9");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDef def;
+  def.id = "T9";
+  def.paper_anchor = "§3 ablations";
+  def.claim =
+      "throughput robust across c and w_min; the ln^3 listen boost buys "
+      "fast recovery without sacrificing energy";
+  def.params = {BenchParam::u64("n", 4096, "batch size")};
+  def.default_reps = 5;
+  def.default_seed = 9;
+  def.body = body;
+  return run_bench_suite(def, argc, argv);
 }

@@ -9,13 +9,15 @@
 // repairs the damage at multiplicative speed, so the attacker pays
 // roughly linearly for each slot of delay it inflicts.
 //
-//   ./jamming_attack [--budget=16] [--seed=17]
+//   ./jamming_attack [--budget=16] [--seed=17] [--threads=T]
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "protocols/registry.hpp"
 
 using namespace lowsense;
@@ -57,6 +59,13 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const std::uint64_t max_budget = args.u64("budget", 16);
   const std::uint64_t seed = args.u64("seed", 17);
+  const unsigned threads =
+      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
+  for (const auto& k : args.unknown_keys()) {
+    std::fprintf(stderr, "unknown flag %s\n", k.c_str());
+    std::fprintf(stderr, "usage: jamming_attack [--budget=B] [--seed=S] [--threads=T]\n");
+    return 2;
+  }
 
   std::printf("Reactive attacker vs a single victim packet. The attacker jams exactly\n"
               "the victim's transmissions until its budget runs out.\n\n");
@@ -64,11 +73,24 @@ int main(int argc, char** argv) {
   std::printf("%8s | %10s %11s | %10s %11s\n", "budget", "slots", "sends", "slots", "sends");
   std::printf("---------+------------------------+-----------------------\n");
 
-  for (std::uint64_t budget = 1; budget <= max_budget; budget *= 2) {
-    const AttackOutcome beb = attack("binary-exponential", budget, seed);
-    const AttackOutcome lsb = attack("low-sensing", budget, seed);
+  std::vector<std::uint64_t> budgets;
+  for (std::uint64_t budget = 1; budget <= max_budget; budget *= 2) budgets.push_back(budget);
+
+  // Both protocols for every budget rung, fanned out over the pool;
+  // results come back in rung order, so the table is identical to the
+  // serial run's.
+  struct Rung {
+    AttackOutcome beb, lsb;
+  };
+  const std::vector<Rung> rungs = parallel_map(threads, budgets.size(), [&](std::size_t i) {
+    return Rung{attack("binary-exponential", budgets[i], seed),
+                attack("low-sensing", budgets[i], seed)};
+  });
+
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const auto& [beb, lsb] = rungs[i];
     std::printf("%8llu | %10.0f%1s %10.0f | %10.0f%1s %10.0f\n",
-                static_cast<unsigned long long>(budget), beb.completion_slots,
+                static_cast<unsigned long long>(budgets[i]), beb.completion_slots,
                 beb.finished ? "" : "+", beb.victim_sends, lsb.completion_slots,
                 lsb.finished ? "" : "+", lsb.victim_sends);
   }

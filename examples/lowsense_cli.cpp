@@ -1,11 +1,13 @@
 // General-purpose scenario runner: compose any protocol × arrival process
-// × jammer from the command line and get a metrics table (or CSV). This
-// is the "kick the tires" tool for the whole public API.
+// × jammer from the command line and get a metrics table (or CSV, or the
+// structured lowsense-bench/v1 JSON document). This is the "kick the
+// tires" tool for the whole public API.
 //
 //   ./lowsense_cli --protocol=low-sensing --arrivals=batch:10000
-//                  --jammer=random:0.2 --reps=5 --seed=1
+//                  --jammer=random:0.2 --reps=5 --seed=1 --threads=0
 //   ./lowsense_cli --protocol=beb --arrivals=poisson:0.05,5000 --csv
 //   ./lowsense_cli --arrivals=aqt:0.2,1024,front,20000 --jammer=burst:1000,100
+//                  --json=cli.json
 //
 // Arrival specs:  batch:N | poisson:rate,N | aqt:lambda,S,pattern,N
 //                 (pattern: spread|front|random|pulse)
@@ -22,6 +24,8 @@
 
 #include "core/table.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
+#include "harness/report.hpp"
 #include "metrics/energy.hpp"
 #include "protocols/registry.hpp"
 
@@ -31,8 +35,9 @@ namespace {
 
 void usage() {
   std::printf("usage: lowsense_cli [--protocol=NAME] [--arrivals=SPEC] [--jammer=SPEC]\n"
-              "                    [--reps=K] [--seed=S] [--jam-seed=J]\n"
-              "                    [--max-active-slots=B] [--engine=event|slot] [--csv]\n\n"
+              "                    [--reps=K] [--seed=S] [--jam-seed=J] [--threads=T]\n"
+              "                    [--max-active-slots=B] [--engine=event|slot] [--csv]\n"
+              "                    [--json=PATH]\n\n"
               "protocols: ");
   for (const auto& name : protocol_names()) std::printf("%s ", name.c_str());
   std::printf("\narrivals : batch:N | poisson:rate,N | aqt:lambda,S,pattern,N\n");
@@ -41,6 +46,9 @@ void usage() {
               "           randband:lo,hi,rate[,budget[,jitter]]\n");
   std::printf("--jam-seed=J pins the randomized jammers' slot-keyed coins to one\n"
               "fixed adversary across replicates (0/absent: per-replicate coins)\n");
+  std::printf("--threads=T fans replicates over T workers (0 = all cores); output is\n"
+              "byte-identical to the serial run\n");
+  std::printf("--json=PATH writes the structured lowsense-bench/v1 result document\n");
 }
 
 }  // namespace
@@ -57,12 +65,17 @@ int main(int argc, char** argv) {
   const std::string jammer_spec = args.str("jammer", "none");
   const int reps = static_cast<int>(args.u64("reps", 3));
   const std::uint64_t seed = args.u64("seed", 1);
+  const std::uint64_t jam_seed = args.u64("jam-seed", 0);
+  const unsigned threads =
+      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
+  const std::string json_path = args.str("json", "");
+  const bool csv = args.flag("csv");
 
   Scenario s;
   s.name = proto + "/" + arrivals_spec + "/" + jammer_spec;
   s.protocol = [proto] { return make_protocol(proto); };
   s.arrivals = parse_arrivals_spec(arrivals_spec);
-  s.jammer = parse_jammer_spec(jammer_spec, args.u64("jam-seed", 0));
+  s.jammer = parse_jammer_spec(jammer_spec, jam_seed);
   s.config.max_active_slots = args.u64("max-active-slots", 50000000ULL);
   try {
     s.engine = parse_engine(args.str("engine", "event"));
@@ -70,6 +83,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n\n", e.what());
     usage();
     return 1;
+  }
+
+  // Every accepted flag has been queried above; anything left over is a
+  // typo, and a silently ignored --thread=8 is worse than an error.
+  const auto unknown = args.unknown_keys();
+  if (!unknown.empty()) {
+    for (const auto& k : unknown) std::fprintf(stderr, "unknown flag %s\n", k.c_str());
+    std::fprintf(stderr, "\n");
+    usage();
+    return 2;
   }
 
   if (!make_protocol(proto)) {
@@ -83,12 +106,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const Replicates r = replicate(s, reps, seed);
+  const Replicates r = replicate_parallel(s, reps, threads, seed);
 
   Table table({"metric", "median", "min", "max"});
+  std::vector<MetricSummary> metrics;
   auto add = [&](const std::string& name, const Summary& sum, int prec = 4) {
     table.add_row({name, Table::num(sum.median, prec), Table::num(sum.min, prec),
                    Table::num(sum.max, prec)});
+    metrics.push_back({name, sum});
   };
   add("throughput (T+J)/S", r.throughput(), 3);
   add("implicit throughput", r.implicit_throughput(), 3);
@@ -111,6 +136,34 @@ int main(int argc, char** argv) {
 
   std::printf("scenario: %s  (reps=%d, seed=%llu)\n", s.name.c_str(), reps,
               static_cast<unsigned long long>(seed));
-  std::printf("%s", args.flag("csv") ? table.csv().c_str() : table.render().c_str());
+  std::printf("%s", csv ? table.csv().c_str() : table.render().c_str());
+
+  if (!json_path.empty()) {
+    JsonSink json(json_path);
+    BenchMeta meta;
+    meta.id = "lowsense_cli";
+    meta.paper_anchor = "CLI";
+    meta.claim = "ad-hoc scenario";
+    meta.options = {{"reps", std::to_string(reps)},
+                    {"seed", std::to_string(seed)},
+                    {"threads", std::to_string(threads)},
+                    {"engine", engine_name(s.engine)},
+                    {"jammer", jammer_spec},
+                    {"jam-seed", std::to_string(jam_seed)},
+                    {"arrivals", arrivals_spec},
+                    {"json", json_path}};
+    meta.params = {{"protocol", proto}};
+    json.begin(meta);
+    ScenarioResult res;
+    res.name = s.name;
+    res.params = {{"protocol", proto}, {"arrivals", arrivals_spec}, {"jammer", jammer_spec}};
+    res.engine = engine_name(s.engine);
+    res.reps = reps;
+    res.metrics = std::move(metrics);
+    for (const auto& run : r.runs) res.total_active_slots += run.counters.active_slots;
+    json.scenario(res);
+    json.end(0.0);
+    if (!json.write_ok()) return 1;
+  }
   return 0;
 }

@@ -2,9 +2,10 @@
 // print the two headline numbers from the paper — constant throughput and
 // polylog channel accesses per packet.
 //
-//   ./quickstart [--n=1000] [--seed=7] [--protocol=low-sensing]
+//   ./quickstart [--n=1000] [--seed=7] [--protocol=low-sensing] [--engine=event|slot]
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 #include "harness/experiment.hpp"
 #include "protocols/registry.hpp"
@@ -16,11 +17,24 @@ int main(int argc, char** argv) {
   const std::uint64_t n = args.u64("n", 1000);
   const std::uint64_t seed = args.u64("seed", 7);
   const std::string proto = args.str("protocol", "low-sensing");
+  const std::string engine = args.str("engine", "event");
+  for (const auto& k : args.unknown_keys()) {
+    std::fprintf(stderr, "unknown flag %s\n", k.c_str());
+    std::fprintf(stderr, "usage: quickstart [--n=N] [--seed=S] [--protocol=NAME] "
+                         "[--engine=event|slot]\n");
+    return 2;
+  }
 
   Scenario scenario;
   scenario.name = "quickstart";
   scenario.protocol = [&] { return make_protocol(proto); };
   scenario.arrivals = [&](std::uint64_t) { return std::make_unique<BatchArrivals>(n); };
+  try {
+    scenario.engine = parse_engine(engine);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   std::printf("lowsense quickstart: %llu packets arrive at once, protocol = %s\n",
               static_cast<unsigned long long>(n), proto.c_str());

@@ -10,13 +10,14 @@
 // LOW-SENSING BACKOFF with the full-sensing multiplicative-weights
 // protocol that listens in every slot.
 //
-//   ./sensor_network [--sensors=2000] [--rounds=20] [--seed=13]
+//   ./sensor_network [--sensors=2000] [--rounds=20] [--seed=13] [--threads=T]
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "protocols/registry.hpp"
 
 using namespace lowsense;
@@ -73,6 +74,14 @@ int main(int argc, char** argv) {
   const std::uint64_t sensors = args.u64("sensors", 2000);
   const std::uint64_t rounds = args.u64("rounds", 10);
   const std::uint64_t seed = args.u64("seed", 13);
+  const unsigned threads =
+      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
+  for (const auto& k : args.unknown_keys()) {
+    std::fprintf(stderr, "unknown flag %s\n", k.c_str());
+    std::fprintf(stderr,
+                 "usage: sensor_network [--sensors=N] [--rounds=R] [--seed=S] [--threads=T]\n");
+    return 2;
+  }
 
   std::printf("Sensor field: %llu sensors x %llu upload rounds over a shared channel.\n"
               "Energy unit = one slot of radio-on time (listen or send).\n\n",
@@ -81,12 +90,17 @@ int main(int argc, char** argv) {
 
   std::printf("%-18s %14s %14s %10s %8s\n", "protocol", "energy/upload", "worst sensor",
               "throughput", "drained");
+  const std::vector<std::string> protos = {"low-sensing", "mw-full-sensing",
+                                           "binary-exponential"};
+  const std::vector<Outcome> outcomes = parallel_map(threads, protos.size(), [&](std::size_t i) {
+    return measure(protos[i], sensors, rounds, seed);
+  });
   Outcome lsb, mw;
-  for (const std::string proto : {"low-sensing", "mw-full-sensing", "binary-exponential"}) {
-    const Outcome o = measure(proto, sensors, rounds, seed);
-    if (proto == "low-sensing") lsb = o;
-    if (proto == "mw-full-sensing") mw = o;
-    std::printf("%-18s %14.1f %14.1f %10.3f %8s\n", proto.c_str(), o.mean_energy,
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    if (protos[i] == "low-sensing") lsb = o;
+    if (protos[i] == "mw-full-sensing") mw = o;
+    std::printf("%-18s %14.1f %14.1f %10.3f %8s\n", protos[i].c_str(), o.mean_energy,
                 o.worst_energy, o.tp, o.drained ? "yes" : "NO");
   }
 

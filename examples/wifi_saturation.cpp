@@ -8,8 +8,10 @@
 // Ethernet-style capped exponential backoff degrades.
 //
 //   ./wifi_saturation [--granularity=2048] [--lambda=0.25] [--seed=11]
+//                     [--engine=event|slot]
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "harness/experiment.hpp"
@@ -68,6 +70,19 @@ int main(int argc, char** argv) {
   const double lambda = args.f64("lambda", 0.25);
   const Slot granularity = args.u64("granularity", 2048);
   const std::uint64_t seed = args.u64("seed", 11);
+  EngineKind engine = EngineKind::kEvent;
+  try {
+    engine = parse_engine(args.str("engine", "event"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  for (const auto& k : args.unknown_keys()) {
+    std::fprintf(stderr, "unknown flag %s\n", k.c_str());
+    std::fprintf(stderr, "usage: wifi_saturation [--granularity=S] [--lambda=L] [--seed=S] "
+                         "[--engine=event|slot]\n");
+    return 2;
+  }
 
   std::printf("WLAN saturation: AQT pulse arrivals (lambda=%.2f, S=%llu) + a 10k-slot\n"
               "interference burst at slot 30000. Watch the backlog drain afterwards.\n",
@@ -75,7 +90,9 @@ int main(int argc, char** argv) {
 
   for (const std::string proto : {"low-sensing", "capped-exponential"}) {
     Recorder rec(1.5);
-    const RunResult r = run_scenario(wlan(proto, lambda, granularity), seed, {&rec});
+    Scenario s = wlan(proto, lambda, granularity);
+    s.engine = engine;
+    const RunResult r = run_scenario(s, seed, {&rec});
     print_run(proto, r, rec);
   }
 

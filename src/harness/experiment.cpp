@@ -205,7 +205,14 @@ Replicates replicate(const Scenario& scenario, int reps, std::uint64_t base_seed
 Args::Args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      // Not a --key[=value] flag. No entry point here takes positional
+      // arguments, so a `-threads=8` or `n=99` is a typo: keep the raw
+      // token so unknown_keys() can reject it instead of the accessors
+      // silently never seeing it.
+      malformed_.push_back(std::move(arg));
+      continue;
+    }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq == std::string::npos) {
@@ -217,6 +224,7 @@ Args::Args(int argc, char** argv) {
 }
 
 std::uint64_t Args::u64(const std::string& key, std::uint64_t fallback) const {
+  queried_.push_back(key);
   for (const auto& [k, v] : kv_) {
     if (k == key && !v.empty()) return std::strtoull(v.c_str(), nullptr, 10);
   }
@@ -224,6 +232,7 @@ std::uint64_t Args::u64(const std::string& key, std::uint64_t fallback) const {
 }
 
 double Args::f64(const std::string& key, double fallback) const {
+  queried_.push_back(key);
   for (const auto& [k, v] : kv_) {
     if (k == key && !v.empty()) return std::strtod(v.c_str(), nullptr);
   }
@@ -231,6 +240,7 @@ double Args::f64(const std::string& key, double fallback) const {
 }
 
 std::string Args::str(const std::string& key, const std::string& fallback) const {
+  queried_.push_back(key);
   for (const auto& [k, v] : kv_) {
     if (k == key) return v;
   }
@@ -238,10 +248,41 @@ std::string Args::str(const std::string& key, const std::string& fallback) const
 }
 
 bool Args::flag(const std::string& key) const {
+  queried_.push_back(key);
   for (const auto& [k, v] : kv_) {
     if (k == key) return v.empty() || v == "1" || v == "true";
   }
   return false;
+}
+
+std::vector<std::string> Args::keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [k, v] : kv_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Args::unknown_keys(const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  auto reported = [&out](const std::string& tok) {
+    for (const auto& g : out) {
+      if (g == tok) return true;
+    }
+    return false;
+  };
+  for (const auto& [k, v] : kv_) {
+    bool ok = false;
+    for (const auto& g : known) ok |= g == k;
+    for (const auto& g : queried_) ok |= g == k;
+    const std::string tok = "--" + k;
+    if (!ok && !reported(tok)) out.push_back(tok);
+  }
+  // Malformed tokens (wrong dash count, bare key=value) are never
+  // acceptable, whatever the program's key list.
+  for (const auto& raw : malformed_) {
+    if (!reported(raw)) out.push_back(raw);
+  }
+  return out;
 }
 
 }  // namespace lowsense

@@ -74,6 +74,10 @@ struct Scenario {
   std::function<std::unique_ptr<Jammer>(std::uint64_t seed)> jammer;
   RunConfig config;
   EngineKind engine = EngineKind::kEvent;
+  /// A bench sets this when the scenario only makes sense on `engine`
+  /// (e.g. adaptive jammers pinned to the slot engine); the suite's
+  /// --engine= override then leaves it alone.
+  bool engine_locked = false;
 };
 
 /// Runs the scenario once with the given seed; optional observers are
@@ -105,6 +109,14 @@ struct Replicates {
 Replicates replicate(const Scenario& scenario, int reps, std::uint64_t base_seed = 1);
 
 /// Minimal --key=value argument parser shared by benches and examples.
+///
+/// Misspelled flags are a silent hazard (--thread=8 used to run serial
+/// without a word), so every entry point is expected to validate: either
+/// list the accepted keys up front via `unknown_keys(known)`, or query
+/// all flags first and call `unknown_keys()` — both return the keys the
+/// program does not understand, and callers print usage and exit nonzero
+/// when the list is non-empty. The suite runner does this automatically
+/// for every bench.
 class Args {
  public:
   Args(int argc, char** argv);
@@ -114,8 +126,21 @@ class Args {
   std::string str(const std::string& key, const std::string& fallback) const;
   bool flag(const std::string& key) const;
 
+  /// Every --key present on the command line, in order (duplicates kept).
+  std::vector<std::string> keys() const;
+
+  /// Command-line tokens the program does not understand, ready to print:
+  /// "--key" for flags neither in `known` nor ever queried by an accessor,
+  /// plus every malformed token verbatim (single-dash or bare key=value —
+  /// these never reach the accessors at all). Call with the full
+  /// accepted-key list, or with no argument after querying every flag the
+  /// program understands.
+  std::vector<std::string> unknown_keys(const std::vector<std::string>& known = {}) const;
+
  private:
   std::vector<std::pair<std::string, std::string>> kv_;
+  std::vector<std::string> malformed_;
+  mutable std::vector<std::string> queried_;
 };
 
 }  // namespace lowsense

@@ -1,0 +1,129 @@
+#include "harness/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lowsense {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (needs_comma_.back()) out_ += ',';
+}
+
+// comma() must run before the token and the level must be marked used
+// after; these helpers keep that in one place.
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  needs_comma_.back() = true;
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+// end_object/end_array leave the enclosing level's comma flag as the
+// matching begin_* set it (true), so siblings separate correctly.
+
+JsonWriter& JsonWriter::end_object() {
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  needs_comma_.back() = true;
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  // The value that follows must not emit another comma.
+  needs_comma_.back() = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  needs_comma_.back() = true;
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return value_null();
+  comma();
+  needs_comma_.back() = true;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  needs_comma_.back() = true;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  comma();
+  needs_comma_.back() = true;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  needs_comma_.back() = true;
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  comma();
+  needs_comma_.back() = true;
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace lowsense

@@ -1,0 +1,52 @@
+// Minimal streaming JSON writer for the bench harness's structured
+// results. No external dependency: the BENCH_*.json schema is small and
+// flat, so a comma-tracking emitter is all the suite needs. Strings are
+// escaped per RFC 8259; non-finite doubles serialize as null so the
+// output always parses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lowsense {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next member (only valid inside an object).
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& value_null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& member(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const noexcept { return out_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma();
+
+  std::string out_;
+  // One entry per open container: whether a value has been emitted at
+  // this level (so the next one needs a leading comma).
+  std::vector<bool> needs_comma_{false};
+};
+
+}  // namespace lowsense

@@ -70,24 +70,28 @@ void ParallelExecutor::worker_loop() {
   }
 }
 
+Replicates replicate_parallel(const Scenario& scenario, int reps, ParallelExecutor* pool,
+                              std::uint64_t base_seed) {
+  if (reps <= 0) return {};
+  if (pool == nullptr || pool->thread_count() <= 1 || reps == 1) {
+    return replicate(scenario, reps, base_seed);
+  }
+
+  Replicates out;
+  // Each replicate owns slot i exclusively; no result-side locking.
+  out.runs = parallel_map(pool, static_cast<std::size_t>(reps), [&](std::size_t i) {
+    return run_scenario(scenario, base_seed + static_cast<std::uint64_t>(i));
+  });
+  return out;
+}
+
 Replicates replicate_parallel(const Scenario& scenario, int reps, unsigned threads,
                               std::uint64_t base_seed) {
   if (reps <= 0) return {};
   if (threads <= 1 || reps == 1) return replicate(scenario, reps, base_seed);
 
-  Replicates out;
-  out.runs.resize(static_cast<std::size_t>(reps));
-
   ParallelExecutor pool(std::min<unsigned>(threads, static_cast<unsigned>(reps)));
-  for (int i = 0; i < reps; ++i) {
-    pool.submit([&scenario, &out, base_seed, i] {
-      // Each replicate owns slot i exclusively; no result-side locking.
-      out.runs[static_cast<std::size_t>(i)] =
-          run_scenario(scenario, base_seed + static_cast<std::uint64_t>(i));
-    });
-  }
-  pool.wait();
-  return out;
+  return replicate_parallel(scenario, reps, &pool, base_seed);
 }
 
 }  // namespace lowsense
