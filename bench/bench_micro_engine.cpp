@@ -115,6 +115,38 @@ void BM_EventEngineJammed(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEngineJammed)->Arg(2048)->Unit(benchmark::kMillisecond);
 
+void BM_ScalarCoinSpan(benchmark::State& state) {
+  // The pre-batching quiet-span replay: one CounterRng Bernoulli call per
+  // slot. Baseline for BM_BatchedCoinSpan's delta.
+  const CounterRng rng(1, 0xb1);
+  const auto span = static_cast<std::uint64_t>(state.range(0));
+  Slot lo = 0;
+  for (auto _ : state) {
+    std::uint64_t n = 0;
+    for (Slot t = lo; t < lo + span; ++t) n += rng.bernoulli(t, 0.2);
+    benchmark::DoNotOptimize(n);
+    lo += span;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(span));
+}
+BENCHMARK(BM_ScalarCoinSpan)->Arg(1 << 16);
+
+void BM_BatchedCoinSpan(benchmark::State& state) {
+  // The batched replay the jammers now use: integer-threshold coins in
+  // 64-slot popcount blocks (CounterRng::count_bernoulli_span).
+  const CounterRng rng(1, 0xb1);
+  const auto span = static_cast<std::uint64_t>(state.range(0));
+  Slot lo = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.count_bernoulli_span(lo, lo + span - 1, 0.2));
+    lo += span;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(span));
+}
+BENCHMARK(BM_BatchedCoinSpan)->Arg(1 << 16);
+
 void BM_EventEngineRandomJammed(benchmark::State& state) {
   // Slot-keyed random jamming: quiet spans are accounted by replaying one
   // CounterRng coin per slot, so the event engine's cost degrades from

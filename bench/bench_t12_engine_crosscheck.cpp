@@ -10,6 +10,7 @@
 // advantage over time.
 //
 // Shape target: zero mismatches anywhere in the grid.
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -54,15 +55,38 @@ void body(BenchContext& ctx) {
     s.config.max_active_slots = 400ULL * n;
 
     Replicates results[2];
+    double elapsed[2] = {0.0, 0.0};
+    std::uint64_t slots[2] = {0, 0};
     for (const EngineKind engine : {EngineKind::kSlot, EngineKind::kEvent}) {
+      const int leg = engine == EngineKind::kEvent;
       Scenario variant = s;
       variant.name = std::string(cell.proto) + "/" + cell.jammer + "/" + engine_name(engine);
       variant.engine = engine;
       variant.engine_locked = true;  // each grid leg pins its own engine
-      results[engine == EngineKind::kEvent] =
+      const auto t0 = std::chrono::steady_clock::now();
+      results[leg] =
           ctx.run(std::move(variant),
                   {{"proto", cell.proto}, {"jammer", cell.jammer},
                    {"engine", engine_name(engine)}});
+      elapsed[leg] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      for (const auto& run : results[leg].runs) slots[leg] += run.counters.active_slots;
+    }
+
+    // The event engine's gap-skipping advantage as a tracked number: the
+    // slot-over-event slots/s ratio per cell (plus the grid total below).
+    // Lands in the JSON "derived" block, which bench_diff.py watches for
+    // drift separately from the bit-identical metric medians.
+    if (elapsed[0] > 0.0 && elapsed[1] > 0.0 && slots[0] > 0 && slots[1] > 0) {
+      ScenarioResult ratio;
+      ratio.name = std::string("speed-ratio/") + cell.proto + "/" + cell.jammer;
+      ratio.params = {{"proto", cell.proto}, {"jammer", cell.jammer}};
+      ratio.engine = "both";
+      ratio.elapsed_sec = elapsed[0] + elapsed[1];
+      const double slot_sps = static_cast<double>(slots[0]) / elapsed[0];
+      const double event_sps = static_cast<double>(slots[1]) / elapsed[1];
+      ratio.derived.emplace_back("slot_over_event_slots_per_sec", slot_sps / event_sps);
+      ctx.record(std::move(ratio));
     }
 
     const Replicates& slot = results[0];

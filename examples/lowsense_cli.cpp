@@ -36,8 +36,8 @@ namespace {
 void usage() {
   std::printf("usage: lowsense_cli [--protocol=NAME] [--arrivals=SPEC] [--jammer=SPEC]\n"
               "                    [--reps=K] [--seed=S] [--jam-seed=J] [--threads=T]\n"
-              "                    [--max-active-slots=B] [--engine=event|slot] [--csv]\n"
-              "                    [--json=PATH]\n\n"
+              "                    [--shards=M] [--max-active-slots=B] [--engine=event|slot]\n"
+              "                    [--csv] [--json=PATH]\n\n"
               "protocols: ");
   for (const auto& name : protocol_names()) std::printf("%s ", name.c_str());
   std::printf("\narrivals : batch:N | poisson:rate,N | aqt:lambda,S,pattern,N\n");
@@ -48,6 +48,9 @@ void usage() {
               "fixed adversary across replicates (0/absent: per-replicate coins)\n");
   std::printf("--threads=T fans replicates over T workers (0 = all cores); output is\n"
               "byte-identical to the serial run\n");
+  std::printf("--shards=M shards each RUN's packet population over M threads (0 = all\n"
+              "cores); results are bit-identical to --shards=1 — use it for one giant run,\n"
+              "--threads for many replicates\n");
   std::printf("--json=PATH writes the structured lowsense-bench/v1 result document\n");
 }
 
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
   const std::uint64_t jam_seed = args.u64("jam-seed", 0);
   const unsigned threads =
       ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
+  const unsigned shards =
+      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("shards", 1)));
   const std::string json_path = args.str("json", "");
   const bool csv = args.flag("csv");
 
@@ -77,6 +82,7 @@ int main(int argc, char** argv) {
   s.arrivals = parse_arrivals_spec(arrivals_spec);
   s.jammer = parse_jammer_spec(jammer_spec, jam_seed);
   s.config.max_active_slots = args.u64("max-active-slots", 50000000ULL);
+  s.config.shards = shards;
   try {
     s.engine = parse_engine(args.str("engine", "event"));
   } catch (const std::invalid_argument& e) {
@@ -147,6 +153,7 @@ int main(int argc, char** argv) {
     meta.options = {{"reps", std::to_string(reps)},
                     {"seed", std::to_string(seed)},
                     {"threads", std::to_string(threads)},
+                    {"shards", std::to_string(shards)},
                     {"engine", engine_name(s.engine)},
                     {"jammer", jammer_spec},
                     {"jam-seed", std::to_string(jam_seed)},

@@ -9,7 +9,8 @@ Consumes both result formats this repo produces:
 
 Usage:
   bench_diff.py OLD NEW [--max-slowdown=0.10] [--min-gate-elapsed=0.5]
-                        [--metric-tol=1e-9] [--markdown=PATH]
+                        [--metric-tol=1e-9] [--derived-drift=0.25]
+                        [--markdown=PATH]
 
 OLD and NEW are files or directories; directories are paired by file
 name (BENCH_*.json). Exit status: 0 = no regression, 1 = at least one
@@ -21,6 +22,11 @@ Metric medians are also compared: with identical code and seeds they are
 bit-identical, so any drift is reported as a warning (a behavior change
 shipped alongside a perf change), but only slots/s gates the exit code —
 timing is noisy on shared runners, numbers are not.
+
+Per-scenario "derived" values (T12's slot-over-event slots/s ratio,
+T13's shard-scaling speedups) are tracked too: like speeds they move
+with the hardware, so changes beyond --derived-drift are reported as
+warnings and never gate.
 """
 
 from __future__ import annotations
@@ -52,15 +58,20 @@ def collect_files(path):
 
 
 def extract_series(doc):
-    """Returns (speeds, elapsed, metrics).
+    """Returns (speeds, elapsed, metrics, derived).
 
     speeds:  {series_name: slots_per_sec_or_time_based_rate}
     elapsed: {series_name: measured wall seconds behind that rate}
              (google-benchmark entries report None: the framework's
              --benchmark_min_time already guarantees a stable window)
     metrics: {series_name: {metric_name: median}}
+    derived: {series_name:value_name: value} — timing-DERIVED tracked
+             numbers (T12's slot-vs-event slots/s ratio, T13's shard
+             speedups). Like speeds they move with the hardware, so
+             drift is reported, never gated, and with its own looser
+             threshold (--derived-drift).
     """
-    speeds, elapsed, metrics = {}, {}, {}
+    speeds, elapsed, metrics, derived = {}, {}, {}, {}
     if isinstance(doc, dict) and doc.get("schema") == "lowsense-bench/v1":
         bench = doc.get("bench", "?")
         if doc.get("slots_per_sec"):
@@ -76,7 +87,10 @@ def extract_series(doc):
                 for m, v in sc.get("metrics", {}).items()
                 if isinstance(v, dict) and v.get("median") is not None
             }
-        return speeds, elapsed, metrics
+            for k, v in sc.get("derived", {}).items():
+                if isinstance(v, (int, float)):
+                    derived[f"{name}:{k}"] = v
+        return speeds, elapsed, metrics, derived
     if isinstance(doc, dict) and "benchmarks" in doc:
         # google-benchmark. Prefer the median aggregate when repetitions
         # were requested; otherwise use the raw iteration entries.
@@ -93,7 +107,7 @@ def extract_series(doc):
                 # holds for every speeds entry.
                 speeds[f"{name}:1/real_time"] = 1.0 / b["real_time"]
                 elapsed[f"{name}:1/real_time"] = None
-        return speeds, elapsed, metrics
+        return speeds, elapsed, metrics, derived
     sys.stderr.write("error: unrecognized BENCH json format\n")
     raise SystemExit(2)
 
@@ -114,6 +128,10 @@ def main():
                          "are reported as warnings (default 0.5)")
     ap.add_argument("--metric-tol", type=float, default=1e-9,
                     help="relative tolerance before a metric median counts as drifted")
+    ap.add_argument("--derived-drift", type=float, default=0.25,
+                    help="relative change before a derived value (speed ratios, shard "
+                         "speedups) is reported as drifted — warn only, never gates "
+                         "(default 0.25)")
     ap.add_argument("--markdown", default="",
                     help="also write a markdown report (for a PR comment) to this path")
     args = ap.parse_args()
@@ -127,9 +145,12 @@ def main():
     only_new = sorted(set(new_files) - set(old_files))
 
     regressions, warnings, improvements, drifted, rows = [], [], [], [], []
+    ratio_drift = []
     for fname in common:
-        old_speeds, old_elapsed, old_metrics = extract_series(load_json(old_files[fname]))
-        new_speeds, new_elapsed, new_metrics = extract_series(load_json(new_files[fname]))
+        old_speeds, old_elapsed, old_metrics, old_derived = \
+            extract_series(load_json(old_files[fname]))
+        new_speeds, new_elapsed, new_metrics, new_derived = \
+            extract_series(load_json(new_files[fname]))
 
         for name in sorted(set(old_speeds) & set(new_speeds)):
             old_v, new_v = old_speeds[name], new_speeds[name]
@@ -154,6 +175,12 @@ def main():
                 if abs(new_v - old_v) / denom > args.metric_tol:
                     drifted.append((f"{name}:{metric}", old_v, new_v))
 
+        for name in sorted(set(old_derived) & set(new_derived)):
+            old_v, new_v = old_derived[name], new_derived[name]
+            denom = max(abs(old_v), abs(new_v), 1e-300)
+            if abs(new_v - old_v) / denom > args.derived_drift:
+                ratio_drift.append((name, old_v, new_v))
+
     wide = max((len(r[0]) for r in rows), default=10)
     print(f"{'series':<{wide}}  {'old':>14}  {'new':>14}  {'change':>8}")
     for name, old_v, new_v, change, gated in rows:
@@ -169,6 +196,13 @@ def main():
             print(f"  {name}: {old_v:.6g} -> {new_v:.6g}")
         if len(drifted) > 20:
             print(f"  ... and {len(drifted) - 20} more")
+    if ratio_drift:
+        print(f"\nderived drift ({len(ratio_drift)} tracked ratio(s) moved by more than "
+              f"{args.derived_drift:.0%} — engine speed ratios / shard speedups; warn only):")
+        for name, old_v, new_v in ratio_drift[:20]:
+            print(f"  {name}: {old_v:.3g} -> {new_v:.3g}")
+        if len(ratio_drift) > 20:
+            print(f"  ... and {len(ratio_drift) - 20} more")
     for fname in only_old:
         print(f"note: {fname} only in OLD set (bench removed?)")
     for fname in only_new:
@@ -197,6 +231,9 @@ def main():
                         f"{args.max_slowdown:.0%}.\n")
             if drifted:
                 f.write(f"\n{len(drifted)} metric median(s) drifted (behavior change).\n")
+            if ratio_drift:
+                f.write(f"\n{len(ratio_drift)} derived ratio(s) drifted beyond "
+                        f"{args.derived_drift:.0%} (speed ratios / shard speedups).\n")
 
     return 0 if verdict_ok else 1
 

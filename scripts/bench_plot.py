@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from a set of BENCH_*.json results.
+
+Consumes lowsense-bench/v1 documents (the suite benches' --json= output)
+and produces, per input set:
+
+  * throughput_vs_n.svg   — median overall throughput vs batch size N,
+    one series per (bench, protocol, engine): the paper's Theta(1)-vs-
+    O(1/ln N) separation (Cor 1.4);
+  * accesses_vs_ln4n.svg  — median mean accesses/packet vs ln^4 N: the
+    low-sensing energy bound is polylog, so LSB series should look at
+    most linear against ln^4 N while full-sensing baselines blow up.
+
+Pure standard library: figures are written as hand-rolled SVG so the
+script runs anywhere python3 does. --format=png additionally converts
+through rsvg-convert / inkscape / magick when one is installed (keeps
+CI dependency-free: PNG is best-effort, SVG is the artifact).
+
+Usage:
+  bench_plot.py INPUT... [--out-dir=plots] [--format=svg|png]
+
+INPUT is a BENCH_*.json file or a directory of them. Exit status:
+0 = at least one figure written, 1 = no plottable series found,
+2 = usage/parse error.
+
+A scenario is plottable when its params carry a batch size ("n" or "N")
+and its metrics carry "throughput" (figure 1) or "mean_accesses"
+(figure 2); series are keyed by the "proto"/"protocol" param when
+present, else by the scenario-name prefix before "/".
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import math
+import os
+import shutil
+import subprocess
+import sys
+
+PALETTE = ["#3366cc", "#dc3912", "#ff9900", "#109618", "#990099",
+           "#0099c6", "#dd4477", "#66aa00", "#b82e2e", "#316395"]
+
+
+def fail(msg, code=2):
+    sys.stderr.write(f"error: {msg}\n")
+    raise SystemExit(code)
+
+
+def collect_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(sorted(glob.glob(os.path.join(path, "BENCH_*.json"))))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            fail(f"{path} is neither a file nor a directory")
+    if not files:
+        fail("no BENCH_*.json inputs found")
+    return files
+
+
+def series_key(doc, sc):
+    params = sc.get("params", {})
+    proto = params.get("proto") or params.get("protocol")
+    if not proto:
+        proto = sc.get("name", "?").split("/")[0]
+    engine = sc.get("engine", "")
+    label = f"{doc.get('bench', '?')}:{proto}"
+    return f"{label}/{engine}" if engine else label
+
+
+def extract(files):
+    """-> {series: sorted [(n, throughput_median, mean_accesses_median)]}"""
+    series = {}
+    for path in files:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"cannot read {path}: {e}")
+        if not isinstance(doc, dict) or doc.get("schema") != "lowsense-bench/v1":
+            continue  # silently skip google-benchmark files in mixed dirs
+        for sc in doc.get("scenarios", []):
+            params = sc.get("params", {})
+            n_raw = params.get("n") or params.get("N")
+            try:
+                n = float(n_raw)
+            except (TypeError, ValueError):
+                continue
+            if n <= 1:
+                continue
+            metrics = sc.get("metrics", {})
+
+            def median(name):
+                m = metrics.get(name)
+                return m.get("median") if isinstance(m, dict) else None
+
+            tp, acc = median("throughput"), median("mean_accesses")
+            if tp is None and acc is None:
+                continue
+            series.setdefault(series_key(doc, sc), {})[n] = (tp, acc)
+    return {
+        k: sorted((n, tp, acc) for n, (tp, acc) in pts.items())
+        for k, pts in series.items()
+    }
+
+
+# ------------------------------------------------------------- SVG writer
+
+W, H = 720, 480
+ML, MR, MT, MB = 70, 20, 40, 55  # margins
+
+
+def nice_ticks(lo, hi, n=6):
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    step = next(s * mag for s in (1, 2, 2.5, 5, 10) if s * mag >= raw)
+    first = math.ceil(lo / step) * step
+    ticks, t = [], first
+    while t <= hi + 1e-9 * step:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def fmt(v):
+    if v == 0:
+        return "0"
+    if abs(v) >= 10000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:g}"
+
+
+def svg_figure(title, xlabel, ylabel, curves, log2_x=False):
+    """curves: [(label, [(x, y)])] -> SVG text."""
+    xs = [x for _, pts in curves for x, _ in pts]
+    ys = [y for _, pts in curves for _, y in pts]
+    if log2_x:
+        xs = [math.log2(x) for x in xs]
+    xlo, xhi = min(xs), max(xs)
+    ylo, yhi = min(ys + [0.0]), max(ys)
+    if xhi == xlo:
+        xhi = xlo + 1
+    if yhi == ylo:
+        yhi = ylo + 1
+    yhi *= 1.05
+
+    def px(x):
+        return ML + (x - xlo) / (xhi - xlo) * (W - ML - MR)
+
+    def py(y):
+        return H - MB - (y - ylo) / (yhi - ylo) * (H - MT - MB)
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" '
+        f'viewBox="0 0 {W} {H}" font-family="Helvetica,Arial,sans-serif">',
+        f'<rect width="{W}" height="{H}" fill="white"/>',
+        f'<text x="{W / 2}" y="22" text-anchor="middle" font-size="15" '
+        f'font-weight="bold">{title}</text>',
+    ]
+    # Axes + grid.
+    xticks = nice_ticks(xlo, xhi)
+    yticks = nice_ticks(ylo, yhi)
+    for t in xticks:
+        x = px(t)
+        label = fmt(2 ** t) if log2_x else fmt(t)
+        out.append(f'<line x1="{x:.1f}" y1="{MT}" x2="{x:.1f}" y2="{H - MB}" '
+                   f'stroke="#e0e0e0"/>')
+        out.append(f'<text x="{x:.1f}" y="{H - MB + 18}" text-anchor="middle" '
+                   f'font-size="11">{label}</text>')
+    for t in yticks:
+        y = py(t)
+        out.append(f'<line x1="{ML}" y1="{y:.1f}" x2="{W - MR}" y2="{y:.1f}" '
+                   f'stroke="#e0e0e0"/>')
+        out.append(f'<text x="{ML - 8}" y="{y + 4:.1f}" text-anchor="end" '
+                   f'font-size="11">{fmt(t)}</text>')
+    out.append(f'<rect x="{ML}" y="{MT}" width="{W - ML - MR}" height="{H - MT - MB}" '
+               f'fill="none" stroke="#444"/>')
+    out.append(f'<text x="{(ML + W - MR) / 2}" y="{H - 12}" text-anchor="middle" '
+               f'font-size="13">{xlabel}</text>')
+    out.append(f'<text x="18" y="{(MT + H - MB) / 2}" text-anchor="middle" font-size="13" '
+               f'transform="rotate(-90 18 {(MT + H - MB) / 2})">{ylabel}</text>')
+
+    # Curves + legend.
+    for i, (label, pts) in enumerate(curves):
+        color = PALETTE[i % len(PALETTE)]
+        coords = [(px(math.log2(x) if log2_x else x), py(y)) for x, y in pts]
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+        out.append(f'<polyline points="{path}" fill="none" stroke="{color}" '
+                   f'stroke-width="2"/>')
+        for x, y in coords:
+            out.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{color}"/>')
+        ly = MT + 16 + 16 * i
+        out.append(f'<line x1="{W - MR - 160}" y1="{ly - 4}" x2="{W - MR - 136}" '
+                   f'y2="{ly - 4}" stroke="{color}" stroke-width="2"/>')
+        out.append(f'<text x="{W - MR - 130}" y="{ly}" font-size="11">{label}</text>')
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def to_png(svg_path):
+    png_path = svg_path[:-4] + ".png"
+    for cmd in (["rsvg-convert", "-o", png_path, svg_path],
+                ["inkscape", svg_path, "-o", png_path],
+                ["magick", svg_path, png_path],
+                ["convert", svg_path, png_path]):
+        if shutil.which(cmd[0]):
+            if subprocess.run(cmd, capture_output=True).returncode == 0:
+                return png_path
+    sys.stderr.write(f"note: no SVG->PNG converter found; kept {svg_path}\n")
+    return None
+
+
+def main():
+    args = sys.argv[1:]
+    out_dir, fmt_arg, inputs = "plots", "svg", []
+    for a in args:
+        if a.startswith("--out-dir="):
+            out_dir = a.split("=", 1)[1]
+        elif a.startswith("--format="):
+            fmt_arg = a.split("=", 1)[1]
+        elif a in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        elif a.startswith("-"):
+            fail(f"unknown flag {a}")
+        else:
+            inputs.append(a)
+    if not inputs:
+        fail("no inputs given (files or directories of BENCH_*.json)")
+    if fmt_arg not in ("svg", "png"):
+        fail("--format must be svg or png")
+
+    series = extract(collect_files(inputs))
+    tp_curves = [(k, [(n, tp) for n, tp, _ in pts if tp is not None])
+                 for k, pts in sorted(series.items())]
+    tp_curves = [(k, pts) for k, pts in tp_curves if len(pts) >= 2]
+    acc_curves = [(k, [(math.log(n) ** 4, acc) for n, _, acc in pts if acc is not None])
+                  for k, pts in sorted(series.items())]
+    acc_curves = [(k, pts) for k, pts in acc_curves if len(pts) >= 2]
+
+    if not tp_curves and not acc_curves:
+        sys.stderr.write("no plottable series (need scenarios with an n/N param and "
+                         "throughput or mean_accesses metrics, >= 2 points)\n")
+        return 1
+
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    if tp_curves:
+        path = os.path.join(out_dir, "throughput_vs_n.svg")
+        with open(path, "w") as f:
+            f.write(svg_figure("Overall throughput vs batch size (Cor 1.4)",
+                               "N (log scale)", "median throughput (T+J)/S",
+                               tp_curves, log2_x=True))
+        written.append(path)
+    if acc_curves:
+        path = os.path.join(out_dir, "accesses_vs_ln4n.svg")
+        with open(path, "w") as f:
+            f.write(svg_figure("Per-packet channel accesses vs ln⁴ N",
+                               "ln⁴ N", "median mean accesses / packet",
+                               acc_curves))
+        written.append(path)
+
+    if fmt_arg == "png":
+        written.extend(p for p in (to_png(s) for s in list(written)) if p)
+
+    for path in written:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,17 +49,14 @@ bool RandomJammer::jam(Slot slot, const SystemView&, std::span<const PacketId>) 
 
 std::uint64_t RandomJammer::count_quiet_range(Slot lo, Slot hi, const SystemView&) {
   if (hi < lo || rate_ <= 0.0) return 0;
-  std::uint64_t n = 0;
-  if (rate_ >= 1.0) {
-    n = std::min<std::uint64_t>(hi - lo + 1, remaining_budget());
-  } else {
-    // Replay the exact per-slot coins the reference engine would draw.
-    // Engines consult the jammer over active slots in increasing order,
-    // so capping at the remaining budget mid-span lands on the same slot
-    // in both: budget exhaustion is part of the trace, not an estimate.
-    const std::uint64_t remaining = remaining_budget();
-    for (Slot t = lo; t <= hi && n < remaining; ++t) n += rng_.bernoulli(t, rate_);
-  }
+  // Replay the exact per-slot coins the reference engine would draw, as
+  // one batched span evaluation (64-coin popcount blocks instead of a
+  // coin-per-slot loop — this is the event engine's O(active slots) cost
+  // under random jamming, tracked by BM_EventEngineRandomJammed).
+  // Engines consult the jammer over active slots in increasing order, so
+  // capping at the remaining budget mid-span lands on the same slot in
+  // both: budget exhaustion is part of the trace, not an estimate.
+  const std::uint64_t n = rng_.count_bernoulli_span(lo, hi, rate_, remaining_budget());
   used_ += n;
   return n;
 }
@@ -132,9 +129,15 @@ bool RandomContentionJammer::hit(Slot slot, const SystemView& view) const noexce
   // Lanes 1/2 jitter each band edge outward by an independent uniform
   // amount in [0, jitter); lane 0 is the jam coin itself. All three are
   // keyed on the slot, so the decision replays identically in any order.
-  const double lo_t = lo_ - jitter_ * rng_.draw_double(slot, 1);
-  const double hi_t = hi_ + jitter_ * rng_.draw_double(slot, 2);
-  if (view.contention < lo_t || view.contention > hi_t) return false;
+  // Without jitter the edge draws are multiplied by zero — skip the two
+  // hashes (this runs once per active slot on the slot engine).
+  if (jitter_ != 0.0) {
+    const double lo_t = lo_ - jitter_ * rng_.draw_double(slot, 1);
+    const double hi_t = hi_ + jitter_ * rng_.draw_double(slot, 2);
+    if (view.contention < lo_t || view.contention > hi_t) return false;
+  } else if (view.contention < lo_ || view.contention > hi_) {
+    return false;
+  }
   return rng_.bernoulli(slot, rate_, 0);
 }
 
@@ -156,7 +159,15 @@ std::uint64_t RandomContentionJammer::count_quiet_range(Slot lo, Slot hi,
   const std::uint64_t remaining =
       budget_ == 0 ? ~0ULL : (budget_ > used_ ? budget_ - used_ : 0);
   std::uint64_t n = 0;
-  for (Slot t = lo; t <= hi && n < remaining; ++t) n += hit(t, view);
+  if (jitter_ == 0.0) {
+    // Band membership is slot-independent without jitter (and we are in
+    // band, or the reach check above would have returned), so the replay
+    // collapses to a pure rate coin per slot — batchable. The jitter
+    // draws in hit() are multiplied by zero, so skipping them is exact.
+    n = rng_.count_bernoulli_span(lo, hi, rate_, remaining);
+  } else {
+    for (Slot t = lo; t <= hi && n < remaining; ++t) n += hit(t, view);
+  }
   used_ += n;
   return n;
 }

@@ -1,5 +1,6 @@
 #include "core/rng.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace lowsense {
@@ -53,6 +54,49 @@ std::uint64_t CounterRng::draw_below(std::uint64_t counter, std::uint64_t n,
   if (n <= 1) return 0;
   const auto wide = static_cast<unsigned __int128>(draw(counter, lane));
   return static_cast<std::uint64_t>((wide * n) >> 64);
+}
+
+std::uint64_t CounterRng::bernoulli_threshold(double p) noexcept {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return 1ULL << 53;  // every draw >> 11 is below 2^53
+  // p * 2^53 is an exact power-of-two scaling; ceil() makes the integer
+  // compare equivalent to the real one for both integral and fractional
+  // thresholds (x < T_real  <=>  x < ceil(T_real) for integer x).
+  return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
+}
+
+std::uint64_t CounterRng::count_bernoulli_span(std::uint64_t lo, std::uint64_t hi, double p,
+                                               std::uint64_t cap,
+                                               std::uint64_t lane) const noexcept {
+  if (hi < lo || cap == 0) return 0;
+  const std::uint64_t thr = bernoulli_threshold(p);
+  if (thr == 0) return 0;
+  const std::uint64_t len = hi - lo + 1;
+  if (thr == (1ULL << 53)) return len < cap ? len : cap;
+  std::uint64_t n = 0;
+  std::uint64_t c = lo;
+  // 64-coin blocks: build a success mask, popcount it. Counting is
+  // monotone, so min(total, cap) equals the loop-until-cap replay and
+  // the cap check only needs to run per block.
+  while (c <= hi && n < cap) {
+    const std::uint64_t block = std::min<std::uint64_t>(64, hi - c + 1);
+    std::uint64_t mask = 0;
+    for (std::uint64_t i = 0; i < block; ++i) {
+      mask |= static_cast<std::uint64_t>((draw_with_key(key_, c + i, lane) >> 11) < thr) << i;
+    }
+    n += static_cast<std::uint64_t>(__builtin_popcountll(mask));
+    if (c + block - 1 == hi) break;  // avoid overflow when hi is huge
+    c += block;
+  }
+  return n < cap ? n : cap;
+}
+
+void CounterRng::bernoulli_batch(const std::uint64_t* keys, const double* ps, std::size_t n,
+                                 std::uint64_t counter, std::uint8_t* out,
+                                 std::uint64_t lane) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (draw_with_key(keys[i], counter, lane) >> 11) < bernoulli_threshold(ps[i]);
+  }
 }
 
 }  // namespace lowsense

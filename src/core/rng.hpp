@@ -7,6 +7,7 @@
 // both consume the same per-packet draws in the same order.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cmath>
 
@@ -129,7 +130,14 @@ class CounterRng {
 
   /// The core draw: a 64-bit value fully determined by (key, counter, lane).
   std::uint64_t draw(std::uint64_t counter, std::uint64_t lane = 0) const noexcept {
-    std::uint64_t z = key_ + 0x9e3779b97f4a7c15ULL * (counter + 1);
+    return draw_with_key(key_, counter, lane);
+  }
+
+  /// Keyless form of `draw` for the batched evaluators: `key` is a raw
+  /// key() value (already mixed), not a seed.
+  static std::uint64_t draw_with_key(std::uint64_t key, std::uint64_t counter,
+                                     std::uint64_t lane = 0) noexcept {
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL * (counter + 1);
     z = mix(z) + 0xd1b54a32d192ed03ULL * (lane + 1);
     return mix(z);
   }
@@ -156,6 +164,42 @@ class CounterRng {
   /// unlike rejection it stays a single order-independent draw).
   std::uint64_t draw_below(std::uint64_t counter, std::uint64_t n,
                            std::uint64_t lane = 0) const noexcept;
+
+  // ------------------------------------------------------- batched coins
+  //
+  // Counter-mode draws are pure, so a SPAN of Bernoulli coins can be
+  // evaluated in one call with no visible state: the batched forms below
+  // produce bit-for-bit the same decisions as the equivalent loop of
+  // `bernoulli` calls, but branch-free (integer threshold compare — see
+  // bernoulli_threshold) and in 64-coin popcount blocks. They are the
+  // hot path of the sharded engine's send-draw phase and of the
+  // randomized jammers' quiet-span replay.
+
+  /// The integer threshold T with `draw_double(c,l) < p  <=>  draw(c,l)
+  /// >> 11 < T`. Exact: x * 2^-53 and p * 2^53 are both power-of-two
+  /// scalings, so the real-number comparison carries over to integers
+  /// with T = ceil(p * 2^53). p <= 0 yields 0 (never), p >= 1 yields
+  /// 2^53 (always, since draws >> 11 < 2^53).
+  static std::uint64_t bernoulli_threshold(double p) noexcept;
+
+  /// Number of successes among the Bernoulli(p) coins at counters
+  /// [lo, hi] (inclusive), capped at `cap`: exactly the value of
+  ///   n = 0; for (c = lo; c <= hi && n < cap; ++c) n += bernoulli(c, p);
+  /// but evaluated in popcount blocks with early exit at the cap — the
+  /// batched form of the jammers' per-slot quiet-span replay.
+  std::uint64_t count_bernoulli_span(std::uint64_t lo, std::uint64_t hi, double p,
+                                     std::uint64_t cap = ~0ULL,
+                                     std::uint64_t lane = 0) const noexcept;
+
+  /// One coin per (key_i, p_i) at a fixed counter: out[i] =
+  /// CounterRng-with-key(keys[i]).bernoulli(counter, ps[i], lane). The
+  /// sharded engine evaluates a whole shard's send decisions for one
+  /// slot with a single call (keys are the packets' coin keys, the
+  /// counter is the slot). The loop is branch-free per element and
+  /// auto-vectorizable; `keys` are raw key() values, not seeds.
+  static void bernoulli_batch(const std::uint64_t* keys, const double* ps, std::size_t n,
+                              std::uint64_t counter, std::uint8_t* out,
+                              std::uint64_t lane = 0) noexcept;
 
  private:
   /// SplitMix64 finalizer: full-avalanche 64-bit mix.

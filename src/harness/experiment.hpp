@@ -78,6 +78,9 @@ struct Scenario {
   /// (e.g. adaptive jammers pinned to the slot engine); the suite's
   /// --engine= override then leaves it alone.
   bool engine_locked = false;
+  /// Same for config.shards: a bench that sweeps shard counts itself
+  /// (bench_t13_shard_scaling) pins them against the --shards= override.
+  bool shards_locked = false;
 };
 
 /// Runs the scenario once with the given seed; optional observers are

@@ -5,71 +5,6 @@
 
 namespace lowsense {
 
-ParallelExecutor::ParallelExecutor(unsigned threads) {
-  if (threads == 0) threads = 1;
-  workers_.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-}
-
-ParallelExecutor::~ParallelExecutor() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  work_available_.notify_all();
-  for (auto& w : workers_) w.join();
-}
-
-void ParallelExecutor::submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
-  }
-  work_available_.notify_one();
-}
-
-void ParallelExecutor::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(err);
-  }
-}
-
-unsigned ParallelExecutor::default_threads() noexcept {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
-void ParallelExecutor::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stop_ set and queue drained
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
-      ++in_flight_;
-    }
-    try {
-      task();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (tasks_.empty() && in_flight_ == 0) all_done_.notify_all();
-    }
-  }
-}
-
 Replicates replicate_parallel(const Scenario& scenario, int reps, ParallelExecutor* pool,
                               std::uint64_t base_seed) {
   if (reps <= 0) return {};

@@ -31,11 +31,11 @@ void report_footer(const std::string& experiment_id) {
 void TextSink::begin(const BenchMeta& meta) {
   id_ = meta.id;
   report_header(meta.id, meta.paper_anchor, meta.claim);
-  // Echo the run configuration, EXCEPT timing-irrelevant execution knobs
-  // (threads, json path): stdout must be byte-identical across thread
-  // counts so the bit-identity tests can diff it.
+  // Echo the run configuration, EXCEPT result-irrelevant execution knobs
+  // (threads, shards, json path): stdout must be byte-identical across
+  // thread AND shard counts so the bit-identity tests can diff it.
   for (const auto& [k, v] : meta.options) {
-    if (k == "threads" || k == "json") continue;
+    if (k == "threads" || k == "shards" || k == "json") continue;
     if (k == "engine") {
       std::printf("engine: %s\n", v.c_str());
     } else if ((k == "jammer" || k == "arrivals") && !v.empty()) {
@@ -131,6 +131,12 @@ void JsonSink::end(double elapsed_sec) {
     if (include_timing_) {
       w.member("elapsed_sec", s.elapsed_sec);
       w.member("slots_per_sec", s.slots_per_sec());
+      if (!s.derived.empty()) {
+        w.key("derived");
+        w.begin_object();
+        for (const auto& [k, v] : s.derived) w.member(k, v);
+        w.end_object();
+      }
     }
     w.end_object();
   }

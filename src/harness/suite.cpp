@@ -30,9 +30,9 @@ void print_usage(const BenchDef& def, std::FILE* to) {
   std::fprintf(to, "%s · %s — %s\n\n", def.id.c_str(), def.paper_anchor.c_str(),
                def.claim.c_str());
   std::fprintf(to,
-               "usage: bench [--reps=N] [--seed=S] [--threads=K] [--engine=event|slot]\n"
-               "             [--jammer=SPEC] [--jam-seed=J] [--arrivals=SPEC] [--json=PATH]\n"
-               "             [--list] [--help]\n");
+               "usage: bench [--reps=N] [--seed=S] [--threads=K] [--shards=M]\n"
+               "             [--engine=event|slot] [--jammer=SPEC] [--jam-seed=J]\n"
+               "             [--arrivals=SPEC] [--json=PATH] [--list] [--help]\n");
   std::fprintf(to, "defaults: --reps=%d --seed=%llu --threads=1 --engine=event\n", def.default_reps,
                static_cast<unsigned long long>(def.default_seed));
   if (!def.params.empty()) {
@@ -44,6 +44,9 @@ void print_usage(const BenchDef& def, std::FILE* to) {
   }
   std::fprintf(to,
                "--threads=0 uses every core; serial and parallel output are byte-identical.\n"
+               "--shards=M shards every RUN's packet population over M threads (0 = all\n"
+               "  cores; independent of --threads=, which stays replicate-level). Sharding\n"
+               "  changes wall time, never results: --shards=M output == --shards=1 output.\n"
                "--jammer/--arrivals override every scenario's adversary/arrival process:\n"
                "  jammers : none | random:rate[,budget] | burst:period,len | victim:id,budget |\n"
                "            blanket:budget | band:lo,hi,budget | randband:lo,hi,rate[,budget[,jitter]]\n"
@@ -82,10 +85,10 @@ BenchParam BenchParam::str(std::string key, std::string dflt, std::string help) 
 }
 
 const std::vector<std::string>& suite_flag_keys() {
-  static const std::vector<std::string> kKeys = {"reps",     "seed", "threads",
-                                                 "engine",   "jammer", "jam-seed",
-                                                 "arrivals", "json", "list",
-                                                 "help"};
+  static const std::vector<std::string> kKeys = {"reps",     "seed",   "threads",
+                                                 "shards",   "engine", "jammer",
+                                                 "jam-seed", "arrivals", "json",
+                                                 "list",     "help"};
   return kKeys;
 }
 
@@ -99,6 +102,8 @@ bool parse_suite_options(const BenchDef& def, const Args& args, SuiteOptions* ou
   out->seed = args.u64("seed", def.default_seed);
   out->threads =
       ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("threads", 1)));
+  out->shards =
+      ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("shards", 1)));
   try {
     out->engine = parse_engine(args.str("engine", "event"));
   } catch (const std::invalid_argument& e) {
@@ -164,6 +169,7 @@ const std::string& BenchContext::str(const std::string& key) const {
 
 Scenario BenchContext::apply_overrides(Scenario s) const {
   if (!s.engine_locked) s.engine = opts_.engine;
+  if (!s.shards_locked) s.config.shards = opts_.shards;
   if (jammer_override_) s.jammer = jammer_override_;
   if (arrivals_override_) s.arrivals = arrivals_override_;
   return s;
@@ -242,6 +248,7 @@ BenchMeta make_bench_meta(const BenchDef& def, const Args& args, const SuiteOpti
   meta.options = {{"reps", std::to_string(opts.reps)},
                   {"seed", std::to_string(opts.seed)},
                   {"threads", std::to_string(opts.threads)},
+                  {"shards", std::to_string(opts.shards)},
                   {"engine", engine_name(opts.engine)},
                   {"jammer", opts.jammer_spec},
                   {"jam-seed", std::to_string(opts.jam_seed)},

@@ -1,5 +1,6 @@
 // Implementation of the shared simulation core: the ternary-feedback
-// channel semantics of §1.1 live in SimCore::resolve_slot.
+// channel semantics of §1.1 live in the three-phase resolve below. See
+// sim_core.hpp for the sharding and determinism invariants.
 #include "sim/sim_core.hpp"
 
 #include <algorithm>
@@ -7,9 +8,39 @@
 
 namespace lowsense::detail {
 
+namespace {
+
+/// Stream offset of the per-packet send-coin keys: packet id i draws its
+/// coins from CounterRng(seed, kPacketCoinStream + i). The offset keeps
+/// the packet key space disjoint from the small stream ids the jammers
+/// use (0xb1, 0xb2 — see jammer_rng in harness/experiment.hpp).
+constexpr std::uint64_t kPacketCoinStream = 1ULL << 32;
+
+}  // namespace
+
 SimCore::SimCore(const ProtocolFactory& factory, ArrivalProcess& arrivals, Jammer& jammer,
                  const RunConfig& config)
-    : factory_(factory), arrivals_(arrivals), jammer_(jammer), config_(config) {}
+    : factory_(factory), arrivals_(arrivals), jammer_(jammer), config_(config) {
+  unsigned shards = config.shards;
+  if (shards == 0) shards = ParallelExecutor::default_threads();
+  if (shards < 1) shards = 1;
+  shards_.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s) shards_.emplace_back(s, shards);
+  scratch_pos_.resize(shards);
+  if (shards > 1) {
+    // The caller thread works shard 0, so the pool only needs S-1
+    // workers. Idle-spin is enabled only when the host can actually run
+    // the shards concurrently — the resolve forks twice per heavy slot,
+    // so the futex wakeup would otherwise dominate; on an oversubscribed
+    // box spinning would steal the cycles the working thread needs.
+    // "Oversubscribed" includes running INSIDE a replicate-pool worker
+    // (--threads=K x --shards=M spawns K sibling SimCores), not just a
+    // host with fewer cores than shards.
+    const bool spin = !ParallelExecutor::on_worker_thread() &&
+                      ParallelExecutor::default_threads() >= shards;
+    pool_.emplace(shards - 1, spin ? 40 : 0);
+  }
+}
 
 Slot SimCore::next_arrival_slot() {
   if (!pending_ && !arrivals_done_) {
@@ -24,10 +55,11 @@ void SimCore::inject_arrivals_at(Slot t) {
     const std::uint64_t count = pending_->count;
     pending_.reset();
     for (std::uint64_t i = 0; i < count; ++i) {
-      const auto id = static_cast<std::uint32_t>(packets_.size());
-      Packet pkt;
+      const auto id = n_packets_++;
+      Packet& pkt = shards_[id % shards_.size()].emplace(id);
       pkt.proto = factory_.create();
       pkt.rng = Rng::stream(config_.seed, id);
+      pkt.coin = CounterRng(config_.seed, kPacketCoinStream + id);
       pkt.arrival = t;
       pkt.active = true;
       pkt.send_prob = pkt.proto->send_prob();
@@ -36,15 +68,16 @@ void SimCore::inject_arrivals_at(Slot t) {
       // anchored at t, not t+1.
       const std::uint64_t gap = pkt.proto->draw_gap(pkt.rng);
       pkt.next_access = gap == kNoSlot ? kNoSlot : t + gap - 1;
-      if (pkt.next_access != kNoSlot) wheel_.schedule(id, pkt.next_access);
+      if (pkt.next_access != kNoSlot) {
+        shards_[id % shards_.size()].wheel().schedule(id, pkt.next_access);
+      }
       counters_.contention += pkt.send_prob;
       ++counters_.arrivals;
       ++counters_.backlog;
       max_window_ = std::max(max_window_, pkt.proto->window());
       pkt.active_pos = static_cast<std::uint32_t>(active_ids_.size());
-      packets_.push_back(std::move(pkt));
       active_ids_.push_back(id);
-      for (auto* obs : observers_) obs->on_arrival(t, id, *packets_[id].proto);
+      for (auto* obs : observers_) obs->on_arrival(t, id, *pkt.proto);
     }
     peak_backlog_ = std::max(peak_backlog_, counters_.backlog);
   }
@@ -59,11 +92,24 @@ SystemView SimCore::view() const noexcept {
   return v;
 }
 
+Slot SimCore::next_access_slot() const noexcept {
+  Slot next = kNoSlot;
+  for (const PacketShard& s : shards_) next = std::min(next, s.wheel().next_scheduled());
+  return next;
+}
+
+bool SimCore::no_future_access() const noexcept {
+  for (const PacketShard& s : shards_) {
+    if (!s.wheel().empty()) return false;
+  }
+  return true;
+}
+
 void SimCore::depart(Slot t, std::uint32_t id) {
-  Packet& pkt = packets_[id];
+  Packet& pkt = packet(id);
   assert(pkt.active);
   // No wheel entry to drop: a packet departs only in a slot it accessed,
-  // and its entry for that slot was popped before resolve_slot ran. Mark
+  // and its entry for that slot was popped before the resolve ran. Mark
   // the access spent so nothing re-schedules it.
   pkt.next_access = kNoSlot;
   pkt.active = false;
@@ -74,7 +120,7 @@ void SimCore::depart(Slot t, std::uint32_t id) {
   const std::uint32_t pos = pkt.active_pos;
   assert(pos < active_ids_.size() && active_ids_[pos] == id);
   active_ids_[pos] = active_ids_.back();
-  packets_[active_ids_[pos]].active_pos = pos;
+  packet(active_ids_[pos]).active_pos = pos;
   active_ids_.pop_back();
   latency_stats_.add(static_cast<double>(t - pkt.arrival + 1));
   for (auto* obs : observers_) {
@@ -82,48 +128,159 @@ void SimCore::depart(Slot t, std::uint32_t id) {
   }
 }
 
-void SimCore::apply_observation(Slot t, std::uint32_t id, const Observation& obs) {
-  Packet& pkt = packets_[id];
-  const double old_w = pkt.proto->window();
-  pkt.proto->on_observation(obs);
-  const double new_w = pkt.proto->window();
-  const double new_sp = pkt.proto->send_prob();
-  counters_.contention += new_sp - pkt.send_prob;
-  pkt.send_prob = new_sp;
-  max_window_ = std::max(max_window_, new_w);
-  if (new_w != old_w) {
-    for (auto* o : observers_) o->on_window_change(t, id, old_w, new_w);
+void SimCore::run_phase(Phase phase, PacketShard& shard) {
+  if (phase == Phase::kSendDraws) {
+    phase_send_draws(phase_slot_, shard);
+  } else {
+    phase_feedback(phase_slot_, phase_fb_, shard);
   }
 }
 
-void SimCore::draw_gap_after_access(Slot t, std::uint32_t id) {
-  Packet& pkt = packets_[id];
-  const std::uint64_t gap = pkt.proto->draw_gap(pkt.rng);
-  pkt.next_access = gap == kNoSlot ? kNoSlot : t + gap;
-  if (pkt.next_access != kNoSlot) wheel_.schedule(id, pkt.next_access);
+void SimCore::run_sharded(std::size_t total_accessors, Phase phase) {
+  if (pool_ && total_accessors >= kParallelMinAccessors) {
+    try {
+      for (std::uint32_t s = 1; s < shards_.size(); ++s) {
+        // 16-byte trivially-copyable capture: fits std::function's
+        // small-object buffer, so the twice-per-slot fork never mallocs.
+        pool_->submit([this, phase, s] { run_phase(phase, shards_[s]); });
+      }
+      run_phase(phase, shards_[0]);  // the calling thread takes shard 0
+    } catch (...) {
+      // In-flight workers still mutate shard scratch: they MUST drain
+      // before this frame unwinds (whether submit or our own share
+      // threw). The caller's exception wins over any worker one.
+      try {
+        pool_->wait();
+      } catch (...) {
+      }
+      throw;
+    }
+    pool_->wait();
+  } else {
+    for (PacketShard& shard : shards_) run_phase(phase, shard);
+  }
+}
+
+// Visits every accessor-aligned entry across the shards in canonical
+// ascending-packet-id order: `list_of(shard)` selects the (sorted)
+// per-shard id list, fn(id, shard_index, pos) handles one entry. Both
+// serial phases use THIS loop, so they cannot disagree on the canonical
+// order — which is the determinism contract.
+template <typename GetList, typename Fn>
+void SimCore::for_each_in_id_order(GetList&& list_of, Fn&& fn) {
+  std::fill(scratch_pos_.begin(), scratch_pos_.end(), 0);
+  for (;;) {
+    std::uint32_t best = UINT32_MAX;
+    std::size_t best_shard = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::vector<std::uint32_t>& ids = list_of(shards_[s]);
+      if (scratch_pos_[s] < ids.size() && ids[scratch_pos_[s]] < best) {
+        best = ids[scratch_pos_[s]];
+        best_shard = s;
+      }
+    }
+    if (best == UINT32_MAX) break;
+    fn(best, best_shard, scratch_pos_[best_shard]++);
+  }
+}
+
+// Phase 1 — parallel per shard: canonicalize the bucket (ascending id),
+// tally accesses, and evaluate the slot-keyed send coins in one batched
+// call. Writes only shard-owned state.
+void SimCore::phase_send_draws(Slot t, PacketShard& shard) {
+  auto& acc = shard.accessors;
+  std::sort(acc.begin(), acc.end());
+  const std::size_t k = acc.size();
+  shard.senders.clear();
+  shard.coin_keys.resize(k);
+  shard.coin_ps.resize(k);
+  shard.coin_out.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Packet& pkt = shard.packet(acc[i]);
+    ++pkt.accesses;
+    shard.coin_keys[i] = pkt.coin.key();
+    shard.coin_ps[i] = pkt.proto->send_prob_given_access();
+  }
+  CounterRng::bernoulli_batch(shard.coin_keys.data(), shard.coin_ps.data(), k, t,
+                              shard.coin_out.data());
+  for (std::size_t i = 0; i < k; ++i) {
+    Packet& pkt = shard.packet(acc[i]);
+    pkt.sent = shard.coin_out[i] != 0;
+    if (pkt.sent) {
+      ++pkt.sends;
+      shard.senders.push_back(acc[i]);
+    }
+  }
+}
+
+// Phase 3 — parallel per shard: deliver the observation to every accessor
+// that did not depart, redraw its gap, and re-register it in the shard's
+// own wheel. The cross-shard effects (contention, max window, observer
+// callbacks) are only RECORDED here, in `outcomes`, and applied by the
+// serial shard-merge in resolve_phases.
+void SimCore::phase_feedback(Slot t, Feedback fb, PacketShard& shard) {
+  const auto& acc = shard.accessors;
+  shard.outcomes.assign(acc.size(), {});
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    Packet& pkt = shard.packet(acc[i]);
+    PacketShard::Outcome& out = shard.outcomes[i];
+    if (!pkt.active) {
+      out.departed = true;  // the slot's winner: no feedback, no redraw
+      continue;
+    }
+    out.old_window = pkt.proto->window();
+    pkt.proto->on_observation(Observation{fb, pkt.sent});
+    out.new_window = pkt.proto->window();
+    const double new_sp = pkt.proto->send_prob();
+    out.contention_delta = new_sp - pkt.send_prob;
+    pkt.send_prob = new_sp;
+    const std::uint64_t gap = pkt.proto->draw_gap(pkt.rng);
+    pkt.next_access = gap == kNoSlot ? kNoSlot : t + gap;
+    if (pkt.next_access != kNoSlot) shard.wheel().schedule(acc[i], pkt.next_access);
+  }
+}
+
+void SimCore::resolve_slot(Slot t) {
+  for (PacketShard& shard : shards_) {
+    shard.accessors.clear();
+    shard.wheel().pop_slot(t, &shard.accessors);
+  }
+  resolve_phases(t);
 }
 
 void SimCore::resolve_slot(Slot t, std::span<const std::uint32_t> accessor_ids) {
-  // 1. Send decisions (one uniform draw per accessor, from its own stream).
+  for (PacketShard& shard : shards_) shard.accessors.clear();
+  for (std::uint32_t id : accessor_ids) {
+    shards_[id % shards_.size()].accessors.push_back(id);
+  }
+  resolve_phases(t);
+}
+
+void SimCore::resolve_phases(Slot t) {
+  std::size_t total = 0;
+  for (const PacketShard& shard : shards_) total += shard.accessors.size();
+
+  // 1. Send decisions: one slot-keyed coin per accessor, batched per
+  //    shard. Pure in (seed, id, t), so shard scheduling cannot matter.
+  phase_slot_ = t;
+  run_sharded(total, Phase::kSendDraws);
+
+  // 2. Arbitration (serial). Merge the shards' sender lists in ascending
+  //    id order; adaptive jammers see `view` (state through slot t-1 plus
+  //    this slot's injections, which are the adversary's own); reactive
+  //    jammers additionally see the sender list.
   scratch_senders_.clear();
   scratch_sender_pids_.clear();
-  for (std::uint32_t id : accessor_ids) {
-    Packet& pkt = packets_[id];
-    ++pkt.accesses;
-    pkt.sent = pkt.rng.bernoulli(pkt.proto->send_prob_given_access());
-    if (pkt.sent) {
-      ++pkt.sends;
-      scratch_senders_.push_back(id);
-      scratch_sender_pids_.push_back(id);
-    }
-  }
-
-  // 2. Jam decision. Adaptive jammers see `view` (state through slot t-1
-  //    plus this slot's injections, which are the adversary's own);
-  //    reactive jammers additionally see the sender list.
+  for_each_in_id_order([](PacketShard& s) -> const std::vector<std::uint32_t>& {
+    return s.senders;
+  },
+                       [this](std::uint32_t id, std::size_t, std::size_t) {
+                         scratch_senders_.push_back(id);
+                         scratch_sender_pids_.push_back(id);
+                       });
   const bool jammed = jammer_.jam(t, view(), scratch_sender_pids_);
 
-  // 3. Outcome (§1.1): jam => noisy; two senders => noisy; one sender and
+  //    Outcome (§1.1): jam => noisy; two senders => noisy; one sender and
   //    no jam => success; else empty.
   const bool success = !jammed && scratch_senders_.size() == 1;
   Feedback fb = Feedback::kNoisy;
@@ -133,26 +290,38 @@ void SimCore::resolve_slot(Slot t, std::span<const std::uint32_t> accessor_ids) 
     fb = Feedback::kEmpty;
   }
 
-  // 4. Departure of the winner (it learns its success implicitly and never
+  //    Departure of the winner (it learns its success implicitly and never
   //    receives an on_observation callback).
   if (success) depart(t, scratch_senders_.front());
 
-  // 5. Feedback to every other accessor, then redraw its next-access gap.
-  for (std::uint32_t id : accessor_ids) {
-    Packet& pkt = packets_[id];
-    if (!pkt.active) continue;  // the departed winner
-    apply_observation(t, id, Observation{fb, pkt.sent});
-    draw_gap_after_access(t, id);
-  }
+  // 3. Feedback to every other accessor + gap redraw + wheel
+  //    re-registration, parallel per shard ...
+  phase_fb_ = fb;
+  run_sharded(total, Phase::kFeedback);
 
-  // 6. Counters + observers.
+  //    ... then the serial shard-merge: apply the recorded contention
+  //    deltas and fire the window-change observers in ascending-id order
+  //    (the FP accumulation order is part of the determinism contract).
+  for_each_in_id_order(
+      [](PacketShard& s) -> const std::vector<std::uint32_t>& { return s.accessors; },
+      [this, t](std::uint32_t id, std::size_t shard, std::size_t pos) {
+        const PacketShard::Outcome& out = shards_[shard].outcomes[pos];
+        if (out.departed) return;
+        counters_.contention += out.contention_delta;
+        max_window_ = std::max(max_window_, out.new_window);
+        if (out.new_window != out.old_window) {
+          for (auto* o : observers_) o->on_window_change(t, id, out.old_window, out.new_window);
+        }
+      });
+
+  // 4. Counters + observers.
   ++counters_.active_slots;
   if (jammed) ++counters_.jammed_active_slots;
   counters_.slot = t;
 
   SlotInfo info;
   info.slot = t;
-  info.accessors = static_cast<std::uint32_t>(accessor_ids.size());
+  info.accessors = static_cast<std::uint32_t>(total);
   info.senders = static_cast<std::uint32_t>(scratch_senders_.size());
   info.jammed = jammed;
   info.success = success;
@@ -172,12 +341,18 @@ void SimCore::account_quiet_span(Slot lo, Slot hi) {
 
 double SimCore::recompute_contention() const {
   double c = 0.0;
-  for (std::uint32_t id : active_ids_) c += packets_[id].proto->send_prob();
+  for (std::uint32_t id : active_ids_) {
+    c += shards_[id % shards_.size()].packet(id).proto->send_prob();
+  }
   return c;
 }
 
 void SimCore::finish(RunResult* result) {
-  for (const Packet& pkt : packets_) {
+  // Per-packet stats sweep in global id order: the accumulation order —
+  // and therefore every derived statistic, bit for bit — is independent
+  // of the shard count.
+  for (std::uint32_t id = 0; id < n_packets_; ++id) {
+    const Packet& pkt = packet(id);
     access_stats_.add(static_cast<double>(pkt.accesses));
     send_stats_.add(static_cast<double>(pkt.sends));
     access_hist_.add(static_cast<double>(pkt.accesses));

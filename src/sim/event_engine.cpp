@@ -10,8 +10,6 @@ EventEngine::EventEngine(const ProtocolFactory& factory, ArrivalProcess& arrival
 
 RunResult EventEngine::run() {
   RunResult result;
-  std::vector<std::uint32_t> accessors;
-  detail::AccessWheel& wheel = core_.wheel();
   Slot t = 0;
 
   while (true) {
@@ -22,7 +20,7 @@ RunResult EventEngine::run() {
     if (config_.max_slot != 0 && t > config_.max_slot) break;
 
     const Slot next_arr = core_.next_arrival_slot();
-    const Slot next_acc = wheel.next_scheduled();
+    const Slot next_acc = core_.next_access_slot();  // min over shard wheels
     const Slot next_ev = std::min(next_arr, next_acc);
     if (next_ev == kNoSlot) break;  // nothing will ever happen again
 
@@ -49,12 +47,10 @@ RunResult EventEngine::run() {
     }
 
     // Process event slot t: injections first (they may access immediately
-    // and register themselves in the wheel), then pop the slot's bucket.
+    // and register themselves in their shard's wheel), then pop the
+    // shards' buckets for t and resolve the union.
     core_.inject_arrivals_at(t);
-
-    accessors.clear();
-    wheel.pop_slot(t, &accessors);
-    core_.resolve_slot(t, accessors);
+    core_.resolve_slot(t);
     ++t;
   }
 

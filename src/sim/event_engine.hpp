@@ -3,17 +3,18 @@
 // Because every supported protocol changes state only when it accesses the
 // channel (see Protocol contract), each packet's per-slot access
 // probability is constant between accesses, so "which slot do I access
-// next?" is one geometric draw. The engine asks the SimCore's shared
-// AccessWheel for the next scheduled access and jumps over the (typically
-// enormous) access-free stretches, accounting active slots and jams for
-// skipped spans arithmetically.
+// next?" is one geometric draw. The engine asks the SimCore for the
+// smallest scheduled access across the per-shard AccessWheels and jumps
+// over the (typically enormous) access-free stretches, accounting active
+// slots and jams for skipped spans arithmetically.
 //
-// Produces bit-identical traces to SlotEngine for the same seed whenever
-// the jammer is deterministic or consumes randomness identically in both
-// engines (schedule/burst/none); see tests/sim_equivalence_test.cpp. Both
-// engines pop accessors from the same wheel, so the equivalence is
-// structural: they cannot disagree on WHO accesses a slot, only on how
-// they walk time between accesses.
+// Produces bit-identical traces to SlotEngine for the same seed on every
+// jammer family (randomized jammers replay slot-keyed coins); see
+// tests/sim_equivalence_test.cpp. Both engines pop accessors from the
+// same wheels and resolve them in the same canonical order, so the
+// equivalence is structural: they cannot disagree on WHO accesses a slot,
+// only on how they walk time between accesses. config.shards > 1
+// parallelizes the heavy event slots exactly as in the slot engine.
 #pragma once
 
 #include "sim/sim_core.hpp"

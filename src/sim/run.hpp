@@ -18,8 +18,15 @@ struct RunConfig {
   /// Stop after absolute slot index (0 = unlimited).
   Slot max_slot = 0;
 
-  /// Master seed; packet i draws from Rng::stream(seed, i).
+  /// Master seed; packet i draws its gap stream from Rng::stream(seed, i)
+  /// and its slot-keyed send coins from CounterRng(seed, 2^32 + i).
   std::uint64_t seed = 1;
+
+  /// Shards the packet population of THIS run over that many threads
+  /// (1 = serial, 0 = one shard per core). Results are bit-identical for
+  /// every value — sharding changes wall time, never the trace — so it
+  /// composes freely with replicate-level parallelism (--threads=).
+  unsigned shards = 1;
 };
 
 struct RunResult {

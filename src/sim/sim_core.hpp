@@ -1,12 +1,33 @@
 // Shared internals of the two simulation engines: packet storage, arrival
-// injection, contention bookkeeping, single-slot resolution, and the
-// timing-wheel index of pending accesses. The engines differ ONLY in how
-// they walk time (every active slot vs. jumping between events); accessor
-// lookup itself is the shared AccessWheel, registered here at every point
-// a packet's next_access changes, which is what makes the engines
-// trace-equivalent by construction.
+// injection, contention bookkeeping, and single-slot resolution. The
+// engines differ ONLY in how they walk time (every active slot vs.
+// jumping between events); accessor lookup is the per-shard AccessWheel,
+// registered at every point a packet's next_access changes, which is what
+// makes the engines trace-equivalent by construction.
+//
+// SHARDING. A run with config.shards = S splits the packet population
+// over S PacketShards (packet id -> shard id % S) and resolves each slot
+// in three phases:
+//
+//   1. send-draw   — parallel per shard: sort the shard's bucket, batch-
+//                    evaluate the slot-keyed send coins, tally accesses.
+//   2. arbitration — serial: merge senders in ascending-id order, consult
+//                    the jammer, decide the outcome, depart the winner.
+//   3. feedback    — parallel per shard: deliver the observation, redraw
+//                    each accessor's gap, re-register it in the shard's
+//                    wheel; then a serial shard-merge applies contention
+//                    deltas and fires observers in ascending-id order.
+//
+// Determinism invariant: every cross-packet effect (the sender list, the
+// floating-point contention accumulation, observer callbacks, the stats
+// sweep in finish()) happens in CANONICAL ascending-packet-id order, and
+// every per-packet random draw comes either from the packet's own stream
+// (gaps) or from a slot-keyed coin (sends) — so the results of a run are
+// a pure function of (scenario, seed), independent of the shard count and
+// of scheduling: --shards=S is bit-identical to --shards=1.
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <optional>
 #include <span>
@@ -14,27 +35,15 @@
 
 #include "adversary/arrivals.hpp"
 #include "adversary/jammer.hpp"
+#include "core/executor.hpp"
 #include "core/rng.hpp"
 #include "core/types.hpp"
 #include "protocols/protocol.hpp"
-#include "sim/access_wheel.hpp"
 #include "sim/observer.hpp"
+#include "sim/packet_shard.hpp"
 #include "sim/run.hpp"
 
 namespace lowsense::detail {
-
-struct Packet {
-  std::unique_ptr<Protocol> proto;
-  Rng rng{0};
-  Slot arrival = 0;
-  Slot next_access = kNoSlot;  ///< absolute slot of the next channel access
-  std::uint64_t accesses = 0;
-  std::uint64_t sends = 0;
-  double send_prob = 0.0;  ///< cached contribution to contention C(t)
-  std::uint32_t active_pos = 0;  ///< index into SimCore::active_ids_
-  bool active = false;
-  bool sent = false;  ///< scratch: did it transmit in the slot being resolved?
-};
 
 class SimCore {
  public:
@@ -47,14 +56,18 @@ class SimCore {
   /// Slot of the next pending arrival burst (kNoSlot when exhausted).
   Slot next_arrival_slot();
   /// Injects every pending burst with slot == t, registering each new
-  /// packet's first access in the wheel.
+  /// packet's first access in its shard's wheel.
   void inject_arrivals_at(Slot t);
 
   // --- slot resolution --------------------------------------------------
-  /// Resolves one ACTIVE slot given the packets that access the channel in
-  /// it. Draws send decisions, consults the jammer (reactive jammers see
-  /// the sender list), applies feedback, departs the winner, redraws gaps,
-  /// updates counters, and notifies observers. Increments active_slots.
+  /// Resolves one ACTIVE slot: pops every shard's wheel bucket for t
+  /// (advancing the cursors) and runs the three phases above. Increments
+  /// active_slots. Engines call this with non-decreasing t.
+  void resolve_slot(Slot t);
+
+  /// Legacy form taking an explicit accessor list (the micro-benchmark's
+  /// O(n_active) scan); partitions the ids into the shards' buckets and
+  /// resolves identically. The caller must have drained the wheels for t.
   void resolve_slot(Slot t, std::span<const std::uint32_t> accessor_ids);
 
   /// Accounts a maximal access-free active span [lo, hi] (event engine).
@@ -64,15 +77,29 @@ class SimCore {
   std::uint64_t n_active() const noexcept { return counters_.backlog; }
   const Counters& counters() const noexcept { return counters_; }
   SystemView view() const noexcept;
-  Packet& packet(std::uint32_t id) { return packets_[id]; }
+  Packet& packet(std::uint32_t id) noexcept {
+    return shards_[id % shards_.size()].packet(id);
+  }
   const std::vector<std::uint32_t>& active_ids() const noexcept { return active_ids_; }
   bool arrivals_exhausted() const noexcept { return arrivals_done_ && !pending_; }
 
-  /// Index of pending accesses, keyed by absolute slot. Kept current by
-  /// inject_arrivals_at / draw_gap_after_access; the engines pop from it
-  /// and never mutate next_access themselves. Empty iff no active packet
-  /// will ever access the channel again.
-  AccessWheel& wheel() noexcept { return wheel_; }
+  unsigned shard_count() const noexcept { return static_cast<unsigned>(shards_.size()); }
+  PacketShard& shard(unsigned s) noexcept { return shards_[s]; }
+
+  /// Smallest slot with a scheduled access across all shards (kNoSlot
+  /// when none). The engines' next-event query.
+  Slot next_access_slot() const noexcept;
+
+  /// True iff no active packet will ever access the channel again.
+  bool no_future_access() const noexcept;
+
+  /// Single-shard wheel accessor, kept for the micro-benchmarks' legacy
+  /// scan; only meaningful when shard_count() == 1 (asserted — with more
+  /// shards it would silently expose one S-th of the schedule).
+  AccessWheel& wheel() noexcept {
+    assert(shards_.size() == 1);
+    return shards_.front().wheel();
+  }
 
   /// O(n_active) recomputation of contention; tests compare it against the
   /// incrementally maintained value to bound floating-point drift.
@@ -80,23 +107,51 @@ class SimCore {
 
   void finish(RunResult* result);
 
+  /// Below this many accessors in a slot the phases run inline on the
+  /// calling thread (in the same canonical order, so results do not
+  /// change): a fork-join costs microseconds, which only pays off on the
+  /// heavy buckets of the high-contention phase of a big run.
+  static constexpr std::size_t kParallelMinAccessors = 128;
+
  private:
+  /// The two parallel phases, as a tag so the fork path can submit a
+  /// 16-byte (small-object-optimized) closure instead of heap-allocating
+  /// a std::function per shard per fork — the resolve forks twice per
+  /// heavy slot. Phase inputs (slot, feedback) travel in phase_slot_ /
+  /// phase_fb_, written by the serial code before the fork.
+  enum class Phase : std::uint32_t { kSendDraws, kFeedback };
+
   void depart(Slot t, std::uint32_t id);
-  void apply_observation(Slot t, std::uint32_t id, const Observation& obs);
-  void draw_gap_after_access(Slot t, std::uint32_t id);
+  void resolve_phases(Slot t);
+  void run_phase(Phase phase, PacketShard& shard);
+  void phase_send_draws(Slot t, PacketShard& shard);
+  void phase_feedback(Slot t, Feedback fb, PacketShard& shard);
+  /// Runs the phase over every shard: on the pool when the slot is heavy
+  /// enough, inline (in shard order) otherwise — same code path, same
+  /// canonical results either way.
+  void run_sharded(std::size_t total_accessors, Phase phase);
+  /// Visits accessor-aligned entries of all shards in canonical
+  /// ascending-packet-id order (the one merge both serial phases use).
+  template <typename GetList, typename Fn>
+  void for_each_in_id_order(GetList&& list_of, Fn&& fn);
 
   const ProtocolFactory& factory_;
   ArrivalProcess& arrivals_;
   Jammer& jammer_;
   RunConfig config_;
 
-  std::vector<Packet> packets_;
-  AccessWheel wheel_;
+  std::vector<PacketShard> shards_;
+  std::optional<ParallelExecutor> pool_;  ///< persistent; shards > 1 only
+  std::uint32_t n_packets_ = 0;
   std::vector<std::uint32_t> active_ids_;  ///< ids of in-system packets
   std::vector<std::uint32_t> scratch_senders_;
   std::vector<PacketId> scratch_sender_pids_;
+  std::vector<std::size_t> scratch_pos_;  ///< per-shard merge cursors
   std::optional<ArrivalBurst> pending_;
   bool arrivals_done_ = false;
+
+  Slot phase_slot_ = 0;                    ///< inputs of the forked phases,
+  Feedback phase_fb_ = Feedback::kEmpty;   ///< set serially before each fork
 
   Counters counters_;
   std::vector<Observer*> observers_;

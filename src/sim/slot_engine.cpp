@@ -1,7 +1,5 @@
 #include "sim/slot_engine.hpp"
 
-#include <vector>
-
 namespace lowsense {
 
 SlotEngine::SlotEngine(const ProtocolFactory& factory, ArrivalProcess& arrivals, Jammer& jammer,
@@ -10,8 +8,6 @@ SlotEngine::SlotEngine(const ProtocolFactory& factory, ArrivalProcess& arrivals,
 
 RunResult SlotEngine::run() {
   RunResult result;
-  std::vector<std::uint32_t> accessors;
-  detail::AccessWheel& wheel = core_.wheel();
   Slot t = 0;
 
   while (true) {
@@ -29,7 +25,7 @@ RunResult SlotEngine::run() {
       // The skip can overshoot the absolute budget; a slot past max_slot
       // must not be resolved (the event engine refuses it too).
       if (config_.max_slot != 0 && t > config_.max_slot) break;
-    } else if (wheel.empty() && core_.next_arrival_slot() == kNoSlot) {
+    } else if (core_.no_future_access() && core_.next_arrival_slot() == kNoSlot) {
       // Backlogged but permanently silent: every remaining packet has
       // next_access == kNoSlot and no arrival is coming, so no slot can
       // ever carry an access again. Exit like the event engine does on
@@ -40,11 +36,11 @@ RunResult SlotEngine::run() {
 
     core_.inject_arrivals_at(t);
 
-    // This slot's accessors are exactly the wheel bucket for t: a packet
-    // accesses precisely when its precomputed next-access slot arrives.
-    accessors.clear();
-    wheel.pop_slot(t, &accessors);
-    core_.resolve_slot(t, accessors);
+    // This slot's accessors are exactly the union of the shards' wheel
+    // buckets for t: a packet accesses precisely when its precomputed
+    // next-access slot arrives. resolve_slot pops the buckets and runs
+    // the three phases over the persistent shard pool.
+    core_.resolve_slot(t);
     ++t;
   }
 

@@ -3,9 +3,12 @@
 // only engine that consults the jammer on literally every slot. It is the
 // ground truth the event engine is tested against.
 //
-// Accessor lookup is the SimCore's AccessWheel: popping slot t's bucket is
-// O(accessors in t), so a run costs O(active slots + total accesses)
-// instead of the former O(n_active x active slots) scan.
+// Accessor lookup is the SimCore's per-shard AccessWheels: popping slot
+// t's buckets is O(accessors in t), so a run costs O(active slots + total
+// accesses) instead of the former O(n_active x active slots) scan. With
+// config.shards > 1 the heavy buckets of a single run resolve in parallel
+// over the core's persistent shard pool — bit-identical to shards = 1
+// (see sim_core.hpp for the three-phase resolve and its invariants).
 #pragma once
 
 #include "sim/sim_core.hpp"

@@ -360,6 +360,80 @@ TEST(RngStreamRegression, CounterRngPinnedOutputsNeverShift) {
   EXPECT_EQ(rng.draw(1, 2), 0x249e0455a37c56b1ULL);
 }
 
+// --------------------------------------------------------- batched coins
+
+// The batched span evaluator must agree coin-for-coin with the scalar
+// bernoulli loop it replaces in the jammers' quiet-span replay — across
+// block boundaries, probability edges, and cap truncation.
+TEST(CounterRngBatch, CountSpanMatchesScalarLoop) {
+  Rng meta(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const CounterRng rng(meta.next_u64(), meta.next_below(16));
+    const double p = meta.next_double();
+    const std::uint64_t lo = meta.next_below(100000);
+    const std::uint64_t hi = lo + meta.next_below(300);  // straddles 64-blocks
+    const std::uint64_t lane = meta.next_below(3);
+    std::uint64_t want = 0;
+    for (std::uint64_t c = lo; c <= hi; ++c) want += rng.bernoulli(c, p, lane);
+    EXPECT_EQ(rng.count_bernoulli_span(lo, hi, p, ~0ULL, lane), want)
+        << "p=" << p << " lo=" << lo << " hi=" << hi << " lane=" << lane;
+  }
+}
+
+TEST(CounterRngBatch, CountSpanHonorsTheCapLikeTheReplayLoop) {
+  const CounterRng rng(4242);
+  const double p = 0.35;
+  for (std::uint64_t cap : {0ULL, 1ULL, 7ULL, 64ULL, 1000ULL}) {
+    std::uint64_t want = 0;
+    for (std::uint64_t c = 10; c <= 900 && want < cap; ++c) want += rng.bernoulli(c, p);
+    EXPECT_EQ(rng.count_bernoulli_span(10, 900, p, cap), want) << "cap=" << cap;
+  }
+}
+
+TEST(CounterRngBatch, CountSpanEdgeProbabilities) {
+  const CounterRng rng(5);
+  EXPECT_EQ(rng.count_bernoulli_span(0, 999, 0.0), 0u);
+  EXPECT_EQ(rng.count_bernoulli_span(0, 999, -1.0), 0u);
+  EXPECT_EQ(rng.count_bernoulli_span(0, 999, 1.0), 1000u);
+  EXPECT_EQ(rng.count_bernoulli_span(0, 999, 2.0, 300), 300u);  // cap on always-jam
+  EXPECT_EQ(rng.count_bernoulli_span(10, 9, 0.5), 0u);          // empty span
+  EXPECT_EQ(rng.count_bernoulli_span(42, 42, 0.5), rng.bernoulli(42, 0.5) ? 1u : 0u);
+}
+
+TEST(CounterRngBatch, BernoulliThresholdReproducesTheDoubleCompare) {
+  Rng meta(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double p = trial < 10 ? static_cast<double>(trial) / 10.0 : meta.next_double();
+    const std::uint64_t thr = CounterRng::bernoulli_threshold(p);
+    for (int probe = 0; probe < 20; ++probe) {
+      const std::uint64_t x = meta.next_u64() >> 11;
+      EXPECT_EQ(x < thr, static_cast<double>(x) * 0x1.0p-53 < p)
+          << "p=" << p << " x=" << x;
+    }
+  }
+}
+
+TEST(CounterRngBatch, BernoulliBatchMatchesScalarCalls) {
+  Rng meta(88);
+  constexpr std::size_t kN = 257;
+  std::vector<std::uint64_t> keys(kN);
+  std::vector<double> ps(kN);
+  std::vector<CounterRng> rngs;
+  for (std::size_t i = 0; i < kN; ++i) {
+    rngs.emplace_back(meta.next_u64(), i);
+    keys[i] = rngs.back().key();
+    ps[i] = i % 13 == 0 ? (i % 2 ? 0.0 : 1.0) : meta.next_double();
+  }
+  for (std::uint64_t counter : {0ULL, 63ULL, 64ULL, 123456789ULL}) {
+    std::vector<std::uint8_t> out(kN, 0xcc);
+    CounterRng::bernoulli_batch(keys.data(), ps.data(), kN, counter, out.data());
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(out[i] != 0, rngs[i].bernoulli(counter, ps[i]))
+          << "i=" << i << " counter=" << counter;
+    }
+  }
+}
+
 TEST(Poisson, VarianceMatchesMean) {
   Rng rng(24);
   const double mean = 8.0;

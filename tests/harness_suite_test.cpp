@@ -84,6 +84,35 @@ TEST(SuiteOptionsTest, ThreadsZeroMeansAllCores) {
   EXPECT_EQ(opts.threads, ParallelExecutor::default_threads());
 }
 
+TEST(SuiteOptionsTest, ShardsFlagRoundTripsAndZeroMeansAllCores) {
+  SuiteOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_suite_options(mini_def(), make_args({}), &opts, &error));
+  EXPECT_EQ(opts.shards, 1u);  // default: serial runs
+  ASSERT_TRUE(parse_suite_options(mini_def(), make_args({"--shards=4"}), &opts, &error));
+  EXPECT_EQ(opts.shards, 4u);
+  ASSERT_TRUE(parse_suite_options(mini_def(), make_args({"--shards=0"}), &opts, &error));
+  EXPECT_EQ(opts.shards, ParallelExecutor::default_threads());
+}
+
+TEST(SuiteRunnerTest, ShardedStdoutIsByteIdenticalToSerial) {
+  // The whole point of --shards=: results (and therefore the TextSink
+  // stream) must not depend on it. Run the mini bench serial and sharded
+  // and diff the captured stdout byte for byte.
+  std::string outs[2];
+  int i = 0;
+  for (const char* shards_flag : {"--shards=1", "--shards=3"}) {
+    BenchDef def = mini_def();
+    std::vector<const char*> argv{"prog", "--n=300", "--reps=2", shards_flag};
+    ::testing::internal::CaptureStdout();
+    EXPECT_EQ(run_bench_suite(def, static_cast<int>(argv.size()),
+                              const_cast<char**>(argv.data())),
+              0);
+    outs[i++] = ::testing::internal::GetCapturedStdout();
+  }
+  EXPECT_EQ(outs[0], outs[1]);
+}
+
 TEST(SuiteOptionsTest, BadValuesAreRejectedEagerly) {
   SuiteOptions opts;
   std::string error;

@@ -1,0 +1,352 @@
+// Sharded-execution correctness: PacketShard unit/model checks (the
+// sharded counterpart of sim_access_wheel_test.cpp) and the load-bearing
+// determinism guarantee of the three-phase resolve — a run with
+// config.shards = S is BIT-IDENTICAL to the same run with shards = 1, for
+// every engine, protocol family, jammer family, and budget-truncation
+// edge. Sharding may only change wall time, never a single counter,
+// departure, or floating-point accumulation (the serial shard-merge pins
+// the FP order; see sim_core.hpp).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <random>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammer.hpp"
+#include "protocols/fixed_probability.hpp"
+#include "protocols/registry.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/packet_shard.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace lowsense {
+namespace {
+
+using detail::PacketShard;
+
+// ------------------------------------------------------ PacketShard unit
+
+TEST(PacketShard, OwnershipIsIdModuloShardCount) {
+  PacketShard shard(2, 5);
+  EXPECT_EQ(shard.index(), 2u);
+  EXPECT_TRUE(shard.owns(2));
+  EXPECT_TRUE(shard.owns(7));
+  EXPECT_TRUE(shard.owns(102));
+  EXPECT_FALSE(shard.owns(3));
+  EXPECT_FALSE(shard.owns(0));
+}
+
+TEST(PacketShard, EmplaceAndLookupRoundTrip) {
+  PacketShard shard(1, 3);
+  // Shard 1 of 3 owns ids 1, 4, 7, ... — emplace in global id order.
+  for (std::uint32_t id : {1u, 4u, 7u, 10u}) {
+    detail::Packet& pkt = shard.emplace(id);
+    pkt.arrival = id;  // marker
+  }
+  EXPECT_EQ(shard.size(), 4u);
+  for (std::uint32_t id : {1u, 4u, 7u, 10u}) {
+    EXPECT_EQ(shard.packet(id).arrival, id);
+  }
+}
+
+TEST(PacketShard, WheelsAreIndependentPerShard) {
+  PacketShard a(0, 2), b(1, 2);
+  a.wheel().schedule(0, 5);
+  b.wheel().schedule(1, 3);
+  EXPECT_EQ(a.wheel().next_scheduled(), 5u);
+  EXPECT_EQ(b.wheel().next_scheduled(), 3u);
+  std::vector<std::uint32_t> out;
+  b.wheel().pop_slot(3, &out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(b.wheel().empty());
+  EXPECT_FALSE(a.wheel().empty());
+}
+
+// Randomized model check, mirroring AccessWheel.RandomizedAgainstReferenceMap
+// but across a shard set: entries are routed to shard id % S, the popped
+// union per slot must equal the reference map's bucket, and the min over
+// the shards' next_scheduled must equal the global minimum.
+TEST(PacketShard, ShardedWheelsMatchGlobalReferenceMap) {
+  constexpr std::uint32_t kShards = 4;
+  std::mt19937_64 gen(321);
+  auto uniform = [&gen](std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen);
+  };
+
+  std::vector<PacketShard> shards;
+  for (std::uint32_t s = 0; s < kShards; ++s) shards.emplace_back(s, kShards);
+  std::map<Slot, std::vector<std::uint32_t>> model;
+  Slot t = 0;
+  std::uint32_t next_id = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const int k = static_cast<int>(uniform(0, 2));
+    for (int i = 0; i < k; ++i) {
+      Slot target = t + uniform(0, uniform(0, 1) ? 40 : 20000);
+      shards[next_id % kShards].wheel().schedule(next_id, target);
+      model[target].push_back(next_id);
+      ++next_id;
+    }
+
+    Slot expect_next = model.empty() ? kNoSlot : model.begin()->first;
+    Slot got_next = kNoSlot;
+    for (const PacketShard& s : shards) {
+      got_next = std::min(got_next, s.wheel().next_scheduled());
+    }
+    ASSERT_EQ(got_next, expect_next) << "step " << step;
+
+    Slot target = t + uniform(0, 2);
+    if (!model.empty()) {
+      target = uniform(0, 1) ? model.begin()->first : std::min(target, model.begin()->first);
+    }
+    std::vector<std::uint32_t> got;
+    for (PacketShard& s : shards) s.wheel().pop_slot(target, &got);
+    std::vector<std::uint32_t> want;
+    if (auto it = model.find(target); it != model.end()) {
+      want = it->second;
+      model.erase(it);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << "step " << step << " slot " << target;
+    t = target + 1;
+  }
+}
+
+// ------------------------------------------- sharded-vs-serial identity
+
+struct DepartureTrace final : Observer {
+  std::vector<std::tuple<Slot, PacketId, std::uint64_t, std::uint64_t>> departures;
+
+  void on_departure(Slot slot, PacketId id, Slot, std::uint64_t accesses, std::uint64_t sends,
+                    double) override {
+    departures.emplace_back(slot, id, accesses, sends);
+  }
+};
+
+struct EngineOutcome {
+  RunResult result;
+  DepartureTrace trace;
+};
+
+template <typename Engine>
+EngineOutcome run_engine(const ProtocolFactory& factory, ArrivalProcess& arrivals, Jammer& jammer,
+                         const RunConfig& cfg) {
+  EngineOutcome out;
+  Engine engine(factory, arrivals, jammer, cfg);
+  engine.add_observer(&out.trace);
+  out.result = engine.run();
+  return out;
+}
+
+/// Sharding must not move a single bit: unlike the slot-vs-event
+/// comparison (which allows 1e-9 contention slack for the engines'
+/// different accumulation points), shards=S runs the SAME engine, so even
+/// the floating-point contention must match exactly.
+void expect_identical(const EngineOutcome& a, const EngineOutcome& b, const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.result.counters.slot, b.result.counters.slot);
+  EXPECT_EQ(a.result.counters.active_slots, b.result.counters.active_slots);
+  EXPECT_EQ(a.result.counters.successes, b.result.counters.successes);
+  EXPECT_EQ(a.result.counters.arrivals, b.result.counters.arrivals);
+  EXPECT_EQ(a.result.counters.jammed_active_slots, b.result.counters.jammed_active_slots);
+  EXPECT_EQ(a.result.counters.backlog, b.result.counters.backlog);
+  EXPECT_EQ(a.result.counters.contention, b.result.counters.contention);  // exact FP
+  EXPECT_EQ(a.result.drained, b.result.drained);
+  EXPECT_EQ(a.result.max_accesses, b.result.max_accesses);
+  EXPECT_EQ(a.result.peak_backlog, b.result.peak_backlog);
+  EXPECT_EQ(a.result.jams_total, b.result.jams_total);
+  EXPECT_EQ(a.result.max_window_seen, b.result.max_window_seen);
+  EXPECT_EQ(a.result.access_stats.sum(), b.result.access_stats.sum());
+  EXPECT_EQ(a.result.access_stats.max(), b.result.access_stats.max());
+  EXPECT_EQ(a.result.send_stats.sum(), b.result.send_stats.sum());
+  EXPECT_EQ(a.result.latency_stats.sum(), b.result.latency_stats.sum());
+
+  ASSERT_EQ(a.trace.departures.size(), b.trace.departures.size());
+  for (std::size_t i = 0; i < a.trace.departures.size(); ++i) {
+    EXPECT_EQ(a.trace.departures[i], b.trace.departures[i]) << "departure " << i;
+  }
+}
+
+enum class JamKind { kNone, kSchedule, kBurst, kReactiveBlanket, kRandom, kRandomBand };
+
+std::unique_ptr<Jammer> make_jammer(JamKind kind, std::uint64_t key) {
+  switch (kind) {
+    case JamKind::kNone:
+      return std::make_unique<NoJammer>();
+    case JamKind::kSchedule: {
+      std::vector<Slot> slots;
+      for (Slot t = 3; t < 4000; t += 17) slots.push_back(t);
+      return std::make_unique<ScheduleJammer>(slots);
+    }
+    case JamKind::kBurst:
+      return std::make_unique<BurstJammer>(97, 13);
+    case JamKind::kReactiveBlanket:
+      return std::make_unique<ReactiveBlanketJammer>(40);
+    case JamKind::kRandom:
+      return std::make_unique<RandomJammer>(0.25, 600, CounterRng(key, 0xb1));
+    case JamKind::kRandomBand:
+      return std::make_unique<RandomContentionJammer>(0.5, 2.5, 0.5, 500, CounterRng(key, 0xb2),
+                                                      0.3);
+  }
+  return nullptr;
+}
+
+template <typename Engine>
+void expect_shard_counts_identical(const std::string& proto, JamKind jam, const RunConfig& base,
+                                   std::uint64_t n_batch, const std::string& label) {
+  auto factory = make_protocol(proto);
+  ASSERT_NE(factory, nullptr) << proto;
+
+  BatchArrivals arr1(n_batch);
+  auto jam1 = make_jammer(jam, base.seed);
+  RunConfig cfg1 = base;
+  cfg1.shards = 1;
+  const EngineOutcome serial = run_engine<Engine>(*factory, arr1, *jam1, cfg1);
+
+  for (unsigned shards : {2u, 4u, 8u}) {
+    BatchArrivals arrS(n_batch);
+    auto jamS = make_jammer(jam, base.seed);
+    RunConfig cfgS = base;
+    cfgS.shards = shards;
+    const EngineOutcome sharded = run_engine<Engine>(*factory, arrS, *jamS, cfgS);
+    expect_identical(serial, sharded, label + "/shards" + std::to_string(shards));
+  }
+}
+
+TEST(ShardIdentity, GridAcrossEnginesProtocolsAndJammers) {
+  RunConfig cfg;
+  cfg.seed = 11;
+  cfg.max_active_slots = 60000;
+  for (const char* proto : {"low-sensing", "binary-exponential", "windowed-ethernet"}) {
+    for (JamKind jam : {JamKind::kNone, JamKind::kBurst, JamKind::kReactiveBlanket,
+                        JamKind::kRandom, JamKind::kRandomBand}) {
+      const std::string label =
+          std::string(proto) + "/jam" + std::to_string(static_cast<int>(jam));
+      expect_shard_counts_identical<SlotEngine>(proto, jam, cfg, 96, "slot/" + label);
+      expect_shard_counts_identical<EventEngine>(proto, jam, cfg, 96, "event/" + label);
+    }
+  }
+}
+
+TEST(ShardIdentity, HeavyBucketsCrossTheParallelThreshold) {
+  // A 2048-packet batch puts thousands of accessors in the first slots —
+  // far beyond kParallelMinAccessors — so this exercises the REAL
+  // fork-join path on the shard pool, not just the inline fallback.
+  RunConfig cfg;
+  cfg.seed = 3;
+  cfg.max_active_slots = 40000;
+  expect_shard_counts_identical<SlotEngine>("low-sensing", JamKind::kNone, cfg, 2048,
+                                            "slot/heavy");
+  expect_shard_counts_identical<EventEngine>("low-sensing", JamKind::kRandom, cfg, 2048,
+                                             "event/heavy");
+}
+
+// Seeded fuzz over the budget-truncation edges (max_slot mid-run,
+// max_active_slots mid-span, arrivals past the budget), mirroring the
+// engine-equivalence fuzz but diffing shard counts instead of engines.
+TEST(ShardIdentityFuzz, RandomizedScenariosMatchAcrossShardCounts) {
+  std::mt19937_64 gen(20260729);
+  auto uniform = [&gen](std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen);
+  };
+  const char* kProtocols[] = {"low-sensing", "binary-exponential", "polynomial",
+                              "mw-full-sensing", "windowed-ethernet"};
+  const JamKind kJams[] = {JamKind::kNone,   JamKind::kSchedule, JamKind::kBurst,
+                           JamKind::kReactiveBlanket, JamKind::kRandom, JamKind::kRandomBand};
+
+  for (int iter = 0; iter < 32; ++iter) {
+    const std::string proto = kProtocols[uniform(0, std::size(kProtocols) - 1)];
+    const JamKind jam = kJams[uniform(0, std::size(kJams) - 1)];
+
+    std::vector<ArrivalBurst> bursts;
+    Slot t = uniform(0, 1) ? 0 : uniform(1, 30);
+    const int n_bursts = static_cast<int>(uniform(1, 4));
+    for (int b = 0; b < n_bursts; ++b) {
+      bursts.push_back({t, uniform(1, 25)});
+      t += uniform(0, 1) ? uniform(1, 50) : uniform(1000, 500000);
+    }
+
+    RunConfig cfg;
+    cfg.seed = uniform(1, 1u << 30);
+    if (uniform(0, 3) == 0) {
+      cfg.max_active_slots = 0;
+      cfg.max_slot = uniform(1, 20000);
+    } else {
+      cfg.max_active_slots = uniform(1, 4000);
+      cfg.max_slot = uniform(0, 1) ? 0 : uniform(1, bursts.back().slot + 50);
+    }
+
+    auto factory = make_protocol(proto);
+    ASSERT_NE(factory, nullptr) << proto;
+    const unsigned shards = 1u << uniform(1, 3);  // 2, 4, or 8
+    const bool slot_engine = uniform(0, 1) != 0;
+
+    ScheduleArrivals arr1(bursts), arrS(bursts);
+    auto jam1 = make_jammer(jam, cfg.seed);
+    auto jamS = make_jammer(jam, cfg.seed);
+
+    RunConfig cfg1 = cfg, cfgS = cfg;
+    cfg1.shards = 1;
+    cfgS.shards = shards;
+
+    const EngineOutcome serial =
+        slot_engine ? run_engine<SlotEngine>(*factory, arr1, *jam1, cfg1)
+                    : run_engine<EventEngine>(*factory, arr1, *jam1, cfg1);
+    const EngineOutcome sharded =
+        slot_engine ? run_engine<SlotEngine>(*factory, arrS, *jamS, cfgS)
+                    : run_engine<EventEngine>(*factory, arrS, *jamS, cfgS);
+    expect_identical(serial, sharded,
+                     "fuzz#" + std::to_string(iter) + "/" + proto + "/jam" +
+                         std::to_string(static_cast<int>(jam)) + "/shards" +
+                         std::to_string(shards) + (slot_engine ? "/slot" : "/event"));
+  }
+}
+
+// The cross-product guarantee: a sharded EVENT engine must still equal a
+// serial SLOT engine — sharding and gap-skipping compose.
+TEST(ShardIdentity, ShardedEventEngineEqualsSerialSlotEngine) {
+  auto factory = make_protocol("low-sensing");
+  RunConfig cfg;
+  cfg.seed = 17;
+  cfg.max_active_slots = 50000;
+
+  BatchArrivals arrA(150), arrB(150);
+  auto jamA = make_jammer(JamKind::kRandom, cfg.seed);
+  auto jamB = make_jammer(JamKind::kRandom, cfg.seed);
+
+  RunConfig slot_cfg = cfg;
+  slot_cfg.shards = 1;
+  RunConfig event_cfg = cfg;
+  event_cfg.shards = 4;
+
+  const EngineOutcome a = run_engine<SlotEngine>(*factory, arrA, *jamA, slot_cfg);
+  const EngineOutcome b = run_engine<EventEngine>(*factory, arrB, *jamB, event_cfg);
+  expect_identical(a, b, "slot1-vs-event4");
+}
+
+// A protocol that never accesses again (the silent-backlog regression)
+// must terminate identically with per-shard wheels all empty.
+TEST(ShardIdentity, PermanentlySilentBacklogTerminatesSharded) {
+  FixedProbabilityFactory never_sends(0.0);
+  for (unsigned shards : {1u, 4u}) {
+    BatchArrivals arr(4);
+    NoJammer jam;
+    RunConfig cfg;
+    cfg.seed = 5;
+    cfg.shards = shards;
+    SlotEngine engine(never_sends, arr, jam, cfg);
+    const RunResult r = engine.run();
+    EXPECT_FALSE(r.drained);
+    EXPECT_EQ(r.counters.backlog, 4u);
+    EXPECT_EQ(r.counters.active_slots, 1u) << "shards " << shards;
+  }
+}
+
+}  // namespace
+}  // namespace lowsense
