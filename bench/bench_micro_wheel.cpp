@@ -117,7 +117,7 @@ void BM_SlotEngineLegacyScan(benchmark::State& state) {
     RunConfig cfg;
     cfg.seed = 1;
     detail::SimCore core(factory, arrivals, none, cfg);
-    std::vector<std::uint32_t> accessors;
+    std::vector<detail::ActiveRef> accessors;
     std::vector<std::uint32_t> drained;
     Slot t = 0;
     RunResult result;
@@ -131,8 +131,8 @@ void BM_SlotEngineLegacyScan(benchmark::State& state) {
       drained.clear();
       core.wheel().pop_slot(t, &drained);
       accessors.clear();
-      for (std::uint32_t id : core.active_ids()) {
-        if (core.packet(id).next_access == t) accessors.push_back(id);
+      for (const detail::ActiveRef& ref : core.active()) {
+        if (core.next_access_at(ref) == t) accessors.push_back(ref);
       }
       core.resolve_slot(t, accessors);
       ++t;

@@ -9,6 +9,7 @@ Consumes both result formats this repo produces:
 
 Usage:
   bench_diff.py OLD NEW [--max-slowdown=0.10] [--min-gate-elapsed=0.5]
+                        [--rolling=K]
                         [--metric-tol=1e-9] [--derived-drift=0.25]
                         [--markdown=PATH]
 
@@ -17,6 +18,15 @@ name (BENCH_*.json). Exit status: 0 = no regression, 1 = at least one
 gated slots/s drop beyond --max-slowdown, 2 = usage/parse error.
 Series timed over less than --min-gate-elapsed wall seconds are too
 noisy to gate; their drops are reported as warnings only.
+
+With --rolling=K, OLD is a baseline directory holding one snapshot
+subdirectory per prior run (each with its own BENCH_*.json set, e.g.
+run-000000042/). The gate then compares NEW against the per-series
+MEDIAN slots/s over the newest K snapshots, so a single flappy
+hosted-runner sample can neither fail the gate nor sandbag the
+baseline — the point is to keep the 10% gate hard instead of demoting
+it to warn-only. A flat OLD directory still works (treated as one
+snapshot), so migration is seamless.
 
 Metric medians are also compared: with identical code and seeds they are
 bit-identical, so any drift is reported as a warning (a behavior change
@@ -35,6 +45,7 @@ import argparse
 import glob
 import json
 import os
+import statistics
 import sys
 
 
@@ -112,6 +123,50 @@ def extract_series(doc):
     raise SystemExit(2)
 
 
+def snapshot_dirs(path, k):
+    """The newest k snapshot subdirectories of a rolling baseline dir.
+
+    A snapshot is any immediate subdirectory containing BENCH_*.json;
+    snapshots are ordered by name, so zero-padded run numbers (or any
+    other sortable stamp) give chronological order. Returns [] when the
+    layout is flat (no snapshot subdirs) — the caller falls back to
+    treating `path` itself as a single snapshot.
+    """
+    if not os.path.isdir(path):
+        return []
+    subs = sorted(
+        d for d in glob.glob(os.path.join(path, "*"))
+        if os.path.isdir(d) and glob.glob(os.path.join(d, "BENCH_*.json"))
+    )
+    return subs[-k:]
+
+
+def combine_snapshots(views):
+    """Merges per-snapshot (speeds, elapsed, metrics, derived) tuples,
+    oldest first, into one baseline view.
+
+    Speeds take the per-series median across every snapshot that has the
+    series — the rolling part: one outlier run moves the median little.
+    Elapsed likewise (None, google-benchmark's "stable by construction"
+    marker, is sticky). Metrics and derived values come from the newest
+    snapshot carrying them: they are bit-identical run to run, so there
+    is nothing to average and newest matches what the code produces now.
+    """
+    speeds, elapsed, metrics, derived = {}, {}, {}, {}
+    names = set()
+    for v in views:
+        names.update(v[0])
+    for name in names:
+        vals = [v[0][name] for v in views if name in v[0]]
+        speeds[name] = statistics.median(vals)
+        els = [v[1].get(name) for v in views if name in v[0]]
+        elapsed[name] = None if any(e is None for e in els) else statistics.median(els)
+    for v in views:  # newest last: later update() wins
+        metrics.update(v[2])
+        derived.update(v[3])
+    return speeds, elapsed, metrics, derived
+
+
 def fmt_rate(v):
     return f"{v:,.0f}" if v >= 100 else f"{v:.3g}"
 
@@ -126,6 +181,10 @@ def main():
                     help="only series measured over at least this many wall seconds (on both "
                          "sides) can FAIL the diff; faster cells are too noisy to gate and "
                          "are reported as warnings (default 0.5)")
+    ap.add_argument("--rolling", type=int, default=0, metavar="K",
+                    help="treat OLD as a rolling baseline: one snapshot subdirectory per "
+                         "prior run, gate against the per-series median over the newest K "
+                         "snapshots (0 = off; a flat OLD dir counts as one snapshot)")
     ap.add_argument("--metric-tol", type=float, default=1e-9,
                     help="relative tolerance before a metric median counts as drifted")
     ap.add_argument("--derived-drift", type=float, default=0.25,
@@ -136,21 +195,36 @@ def main():
                     help="also write a markdown report (for a PR comment) to this path")
     args = ap.parse_args()
 
-    old_files, new_files = collect_files(args.old), collect_files(args.new)
-    common = sorted(set(old_files) & set(new_files))
+    if args.rolling > 0:
+        snaps = snapshot_dirs(args.old, args.rolling) or [args.old]
+        per_snap = [collect_files(s) for s in snaps]
+        old_views = {
+            fname: combine_snapshots([
+                extract_series(load_json(files[fname]))
+                for files in per_snap if fname in files
+            ])
+            for fname in set().union(*per_snap)
+        }
+        if len(snaps) > 1:
+            print(f"rolling baseline: per-series median over {len(snaps)} snapshot(s) "
+                  f"({os.path.basename(snaps[0])} .. {os.path.basename(snaps[-1])})")
+    else:
+        old_views = {fname: extract_series(load_json(path))
+                     for fname, path in collect_files(args.old).items()}
+    new_views = {fname: extract_series(load_json(path))
+                 for fname, path in collect_files(args.new).items()}
+    common = sorted(set(old_views) & set(new_views))
     if not common:
         sys.stderr.write("error: no BENCH_*.json files in common between the two sets\n")
         return 2
-    only_old = sorted(set(old_files) - set(new_files))
-    only_new = sorted(set(new_files) - set(old_files))
+    only_old = sorted(set(old_views) - set(new_views))
+    only_new = sorted(set(new_views) - set(old_views))
 
     regressions, warnings, improvements, drifted, rows = [], [], [], [], []
     ratio_drift = []
     for fname in common:
-        old_speeds, old_elapsed, old_metrics, old_derived = \
-            extract_series(load_json(old_files[fname]))
-        new_speeds, new_elapsed, new_metrics, new_derived = \
-            extract_series(load_json(new_files[fname]))
+        old_speeds, old_elapsed, old_metrics, old_derived = old_views[fname]
+        new_speeds, new_elapsed, new_metrics, new_derived = new_views[fname]
 
         for name in sorted(set(old_speeds) & set(new_speeds)):
             old_v, new_v = old_speeds[name], new_speeds[name]

@@ -27,12 +27,12 @@ std::optional<ArrivalBurst> ScheduleArrivals::next() {
 }
 
 PoissonArrivals::PoissonArrivals(double rate, std::uint64_t max_packets, Rng rng)
-    : rate_(rate), remaining_(max_packets), rng_(rng) {
+    : rate_(rate), unbounded_(max_packets == 0), remaining_(max_packets), rng_(rng) {
   if (!(rate > 0.0)) throw std::invalid_argument("PoissonArrivals: rate must be positive");
 }
 
 std::optional<ArrivalBurst> PoissonArrivals::next() {
-  if (remaining_ == 0) return std::nullopt;
+  if (!unbounded_ && remaining_ == 0) return std::nullopt;
   // Slot-level Poisson process: geometric-ish gap to the next nonempty
   // slot, then a conditioned-nonzero Poisson count in that slot.
   const double p_nonempty = -std::expm1(-rate_);  // P(Poisson(rate) > 0)
@@ -45,14 +45,21 @@ std::optional<ArrivalBurst> PoissonArrivals::next() {
   do {
     count = rng_.poisson(rate_);
   } while (count == 0);
-  count = std::min<std::uint64_t>(count, remaining_);
-  remaining_ -= count;
+  if (!unbounded_) {
+    count = std::min<std::uint64_t>(count, remaining_);
+    remaining_ -= count;
+  }
   return ArrivalBurst{slot, count};
 }
 
 AqtArrivals::AqtArrivals(double lambda, Slot granularity, AqtPattern pattern,
                          std::uint64_t max_packets, Rng rng)
-    : lambda_(lambda), s_(granularity), pattern_(pattern), remaining_(max_packets), rng_(rng) {
+    : lambda_(lambda),
+      s_(granularity),
+      pattern_(pattern),
+      unbounded_(max_packets == 0),
+      remaining_(max_packets),
+      rng_(rng) {
   if (!(lambda > 0.0) || lambda > 1.0) throw std::invalid_argument("AqtArrivals: lambda in (0,1]");
   if (s_ < 2) throw std::invalid_argument("AqtArrivals: granularity must be >= 2");
 }
@@ -125,7 +132,7 @@ void AqtArrivals::fill_window() {
 }
 
 std::optional<ArrivalBurst> AqtArrivals::next() {
-  if (remaining_ == 0) return std::nullopt;
+  if (!unbounded_ && remaining_ == 0) return std::nullopt;
   while (pending_idx_ >= pending_.size()) {
     if (window_index_ > 0 || !pending_.empty()) {
       window_start_ += s_;
@@ -134,8 +141,10 @@ std::optional<ArrivalBurst> AqtArrivals::next() {
     ++window_index_;
   }
   ArrivalBurst burst = pending_[pending_idx_++];
-  burst.count = std::min<std::uint64_t>(burst.count, remaining_);
-  remaining_ -= burst.count;
+  if (!unbounded_) {
+    burst.count = std::min<std::uint64_t>(burst.count, remaining_);
+    remaining_ -= burst.count;
+  }
   return burst;
 }
 

@@ -1,10 +1,15 @@
 // Packet arrival processes (the adversary's injection side, §1.1).
 //
 // An ArrivalProcess is a pull-stream of bursts at strictly increasing
-// slots. Both engines consume the same stream representation, so any
-// process works with either engine. Adaptivity in this library lives in
-// the jammers; arrival schedules are fixed per run (each adversarial
-// pattern is a concrete worst-case schedule from the paper's discussion).
+// slots: nothing is pre-expanded, so a schedule is O(1) memory no matter
+// how long the horizon — the open-system engines pull one burst ahead as
+// the run advances. Both engines consume the same stream representation,
+// so any process works with either engine. Stochastic processes
+// (Poisson, AQT) take a `max_packets` truncation; 0 means UNBOUNDED —
+// the stream never exhausts and the run is bounded by its slot budgets
+// instead (steady-state mode). Adaptivity in this library lives in the
+// jammers; arrival schedules are fixed per run (each adversarial pattern
+// is a concrete worst-case schedule from the paper's discussion).
 #pragma once
 
 #include <cstdint>
@@ -62,7 +67,8 @@ class ScheduleArrivals final : public ArrivalProcess {
 };
 
 /// Poisson arrivals at `rate` packets/slot (iid per slot), optionally
-/// truncated after `max_packets`. Generated lazily via exponential gaps.
+/// truncated after `max_packets` (0 = unbounded stream). Generated
+/// lazily via exponential gaps.
 class PoissonArrivals final : public ArrivalProcess {
  public:
   PoissonArrivals(double rate, std::uint64_t max_packets, Rng rng);
@@ -71,6 +77,7 @@ class PoissonArrivals final : public ArrivalProcess {
 
  private:
   double rate_;
+  bool unbounded_;
   std::uint64_t remaining_;
   Rng rng_;
   Slot cur_ = 0;
@@ -92,6 +99,7 @@ enum class AqtPattern {
 /// of every other window (maximum burstiness at half the average rate);
 /// all patterns satisfy the sliding-window constraint, which the
 /// AqtConstraintChecker (aqt.hpp) verifies in tests.
+/// `max_packets` of 0 means an unbounded stream (steady-state mode).
 class AqtArrivals final : public ArrivalProcess {
  public:
   AqtArrivals(double lambda, Slot granularity, AqtPattern pattern, std::uint64_t max_packets,
@@ -105,6 +113,7 @@ class AqtArrivals final : public ArrivalProcess {
   double lambda_;
   Slot s_;
   AqtPattern pattern_;
+  bool unbounded_;
   std::uint64_t remaining_;
   Rng rng_;
   Slot window_start_ = 0;

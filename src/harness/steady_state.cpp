@@ -1,0 +1,100 @@
+#include "harness/steady_state.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lowsense {
+
+SteadyStateObserver::SteadyStateObserver(Slot window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("SteadyStateObserver: window must be positive");
+}
+
+SteadyWindow& SteadyStateObserver::at_slot(Slot t) {
+  const std::size_t idx = static_cast<std::size_t>(t / window_);
+  if (idx >= windows_.size()) {
+    const std::size_t old = windows_.size();
+    windows_.resize(idx + 1);
+    for (std::size_t i = old; i < windows_.size(); ++i) {
+      windows_[i].start = static_cast<Slot>(i) * window_;
+    }
+  }
+  return windows_[idx];
+}
+
+void SteadyStateObserver::on_arrival(Slot slot, PacketId, const Protocol&) {
+  ++at_slot(slot).arrivals;
+}
+
+void SteadyStateObserver::on_departure(Slot slot, PacketId, Slot arrival_slot,
+                                       std::uint64_t /*accesses*/, std::uint64_t /*sends*/,
+                                       double) {
+  SteadyWindow& w = at_slot(slot);
+  ++w.departures;
+  w.latency.add(static_cast<double>(slot - arrival_slot));
+}
+
+void SteadyStateObserver::on_slot(const SlotInfo& info, const Counters& counters) {
+  SteadyWindow& w = at_slot(info.slot);
+  ++w.active_slots;
+  if (info.jammed) ++w.jams;
+  w.accesses += info.accessors;
+  w.sends += info.senders;
+  w.backlog_slot_sum += counters.backlog;
+  if (counters.backlog > w.backlog_peak) w.backlog_peak = counters.backlog;
+}
+
+void SteadyStateObserver::on_quiet_span(Slot from, Slot to, std::uint64_t jams,
+                                        const Counters& counters) {
+  // The whole span is active with constant backlog (no arrivals or
+  // departures inside a quiet span); split it exactly at window
+  // boundaries. Jams are attributed pro-rata by slot count, remainder to
+  // the earliest chunks — the one column the event engine cannot place
+  // exactly (see header).
+  assert(from <= to);
+  const Slot span_slots = to - from + 1;
+  std::uint64_t jams_left = jams;
+  Slot chunk_start = from;
+  while (chunk_start <= to) {
+    const Slot window_end = (chunk_start / window_ + 1) * window_ - 1;
+    const Slot chunk_end = window_end < to ? window_end : to;
+    const Slot chunk_slots = chunk_end - chunk_start + 1;
+
+    // ceil(jams * chunk/span) of the remaining budget, never exceeding it.
+    std::uint64_t chunk_jams = (jams * chunk_slots + span_slots - 1) / span_slots;
+    if (chunk_jams > jams_left) chunk_jams = jams_left;
+    jams_left -= chunk_jams;
+
+    SteadyWindow& w = at_slot(chunk_start);
+    w.active_slots += chunk_slots;
+    w.jams += chunk_jams;
+    w.backlog_slot_sum += counters.backlog * chunk_slots;
+    if (counters.backlog > w.backlog_peak) w.backlog_peak = counters.backlog;
+
+    if (chunk_end == to) break;
+    chunk_start = chunk_end + 1;
+  }
+  assert(jams_left == 0);
+}
+
+SteadySummary SteadyStateObserver::summarize(std::size_t warmup_windows) const {
+  SteadySummary s;
+  std::uint64_t backlog_sum = 0;
+  std::uint64_t active_sum = 0;
+  for (std::size_t i = warmup_windows; i < windows_.size(); ++i) {
+    const SteadyWindow& w = windows_[i];
+    ++s.windows;
+    s.arrivals += w.arrivals;
+    s.departures += w.departures;
+    s.accesses += w.accesses;
+    if (w.backlog_peak > s.backlog_peak) s.backlog_peak = w.backlog_peak;
+    backlog_sum += w.backlog_slot_sum;
+    active_sum += w.active_slots;
+    s.window_rate.add(static_cast<double>(w.departures) / static_cast<double>(window_));
+    s.latency.merge(w.latency);
+  }
+  s.mean_backlog =
+      active_sum == 0 ? 0.0 : static_cast<double>(backlog_sum) / static_cast<double>(active_sum);
+  return s;
+}
+
+}  // namespace lowsense

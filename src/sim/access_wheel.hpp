@@ -2,18 +2,36 @@
 //
 // Both engines need the same query: "which packets access the channel in
 // slot t?" The wheel answers it in O(accessors) by bucketing each packet
-// under its absolute next-access slot. Near-future slots (within a
-// power-of-two window ahead of the cursor) live in a ring of per-slot
-// buckets with a bitmap for fast next-event scans; far-future accesses —
-// low-sensing windows grow polylog, so gaps can be enormous — live in a
-// sparse ordered overflow map and migrate into the ring as the window
-// slides over them.
+// under its absolute next-access slot, in a three-level radix hierarchy:
+//
+//  * level 1 — a ring of kWindow per-slot buckets covering the window
+//    [cursor, cursor + kWindow), with an occupancy bitmap for fast
+//    next-event scans;
+//  * level 2 — a ring of kWindow COARSE buckets, each spanning kWindow
+//    slots (coarse index c = slot >> 12), covering the next kWindow^2 =
+//    ~16.8M slots, with its own bitmap and a cached per-bucket minimum
+//    so the next-event query stays O(bitmap scan). A coarse bucket is
+//    flushed into level 1 wholesale when the cursor enters its span —
+//    at that point every entry it holds is inside the level-1 window;
+//  * level 3 — low-sensing windows grow polylog, so gaps beyond even the
+//    coarse span can occur on extreme runs; those land in a sparse
+//    ordered map keyed by COARSE index and migrate into level 2 as the
+//    coarse window slides over them. In steady state this map is empty:
+//    it exists for correctness, not speed.
 //
 // Invariants, relied on by both engines:
 //  * every scheduled slot is >= cursor();
 //  * pop_slot is called with non-decreasing t, and a packet is indexed
 //    under at most one slot at a time (SimCore re-schedules a packet only
-//    when its access is popped and resolved).
+//    when its access is popped and resolved);
+//  * slots the cursor jumps over hold no entries (the engines only skip
+//    to the next event), so sliding either window is migration, never
+//    loss.
+//
+// Within one slot's bucket, entries that migrated down from level 2/3
+// pop after entries scheduled directly into the ring (each level appends
+// in insertion order). Nothing downstream depends on a per-slot pop
+// order: the resolve phases canonicalize by logical packet id.
 #pragma once
 
 #include <cstdint>
@@ -32,8 +50,8 @@ class AccessWheel {
   /// Requires slot >= cursor().
   void schedule(std::uint32_t id, Slot slot);
 
-  /// Appends every id scheduled at exactly `t` to *out (in scheduling
-  /// order) and advances the cursor to t + 1. Requires t >= cursor().
+  /// Appends every id scheduled at exactly `t` to *out and advances the
+  /// cursor to t + 1. Requires t >= cursor().
   void pop_slot(Slot t, std::vector<std::uint32_t>* out);
 
   /// Smallest scheduled slot (>= cursor()), or kNoSlot when empty.
@@ -45,25 +63,60 @@ class AccessWheel {
   bool empty() const noexcept { return size_ == 0; }
   std::uint64_t size() const noexcept { return size_; }
 
-  static constexpr Slot kWindow = 4096;  ///< ring span (power of two)
+  static constexpr Slot kWindow = 4096;  ///< span of each level (power of two)
+  /// First slot beyond the level-2 horizon; schedules at or past this
+  /// distance from the cursor go through the level-3 far map.
+  static constexpr Slot kCoarseSpan = kWindow * kWindow;
 
  private:
+  static constexpr Slot kLogWindow = 12;
+  static_assert(Slot{1} << kLogWindow == kWindow);
   static constexpr Slot kMask = kWindow - 1;
   static constexpr std::size_t kWords = kWindow / 64;
 
+  /// One level-2 / level-3 entry: the exact slot travels with the id so
+  /// migration down the hierarchy can re-bucket it precisely.
+  struct Entry {
+    Slot slot;
+    std::uint32_t id;
+  };
+
   bool in_window(Slot slot) const noexcept { return slot - cursor_ < kWindow; }
-  void set_bit(Slot slot) noexcept;
-  void clear_bit(Slot slot) noexcept;
-  /// Pulls overflow entries that the sliding window now covers into the
-  /// ring. Called whenever cursor_ advances.
-  void migrate_overflow();
+  Slot coarse_cursor() const noexcept { return cursor_ >> kLogWindow; }
+
+  void ring_insert(std::uint32_t id, Slot slot);
+  void l2_insert(Entry e);
+  /// Pulls level-3 buckets the coarse window now covers into level 2,
+  /// then flushes the level-2 bucket at the cursor's own coarse index
+  /// into the ring. Called whenever cursor_ advances.
+  void migrate();
+
+  /// Smallest slot in the ring (requires ring_count_ > 0).
+  Slot ring_next() const noexcept;
+  /// Smallest slot in level 2 (requires l2_count_ > 0).
+  Slot l2_next() const noexcept;
 
   Slot cursor_ = 0;
-  std::uint64_t size_ = 0;        ///< total scheduled ids (ring + overflow)
-  std::uint64_t ring_count_ = 0;  ///< scheduled ids in the ring
-  std::vector<std::vector<std::uint32_t>> ring_;  ///< bucket per in-window slot
-  std::uint64_t occupied_[kWords] = {};           ///< bitmap over ring buckets
-  std::map<Slot, std::vector<std::uint32_t>> overflow_;  ///< slots >= cursor_+kWindow
+  std::uint64_t size_ = 0;  ///< total scheduled ids (all levels)
+
+  // Level 1: per-slot buckets over [cursor, cursor + kWindow).
+  std::uint64_t ring_count_ = 0;
+  std::vector<std::vector<std::uint32_t>> ring_;
+  std::uint64_t occupied_[kWords] = {};
+
+  // Level 2: per-kWindow-span coarse buckets over the next kCoarseSpan
+  // slots, with cached per-bucket minima for the next-event query.
+  std::uint64_t l2_count_ = 0;
+  std::vector<std::vector<Entry>> l2_;
+  std::vector<Slot> l2_min_;  ///< kNoSlot when the bucket is empty
+  std::uint64_t l2_occupied_[kWords] = {};
+
+  // Level 3: coarse index -> bucket, for slots >= cursor + kCoarseSpan.
+  struct FarBucket {
+    Slot min_slot = kNoSlot;
+    std::vector<Entry> entries;
+  };
+  std::map<Slot, FarBucket> far_;
 };
 
 }  // namespace lowsense::detail

@@ -1,20 +1,26 @@
 // Implementation of the shared simulation core: the ternary-feedback
 // channel semantics of §1.1 live in the three-phase resolve below. See
-// sim_core.hpp for the sharding and determinism invariants.
+// sim_core.hpp for the open-system storage, sharding, and determinism
+// invariants.
 #include "sim/sim_core.hpp"
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace lowsense::detail {
 
 namespace {
 
-/// Stream offset of the per-packet send-coin keys: packet id i draws its
-/// coins from CounterRng(seed, kPacketCoinStream + i). The offset keeps
-/// the packet key space disjoint from the small stream ids the jammers
-/// use (0xb1, 0xb2 — see jammer_rng in harness/experiment.hpp).
+/// Stream offset of the per-packet send-coin keys: the packet with
+/// logical id i draws its coins from CounterRng(seed, kPacketCoinStream
+/// + i). The offset keeps the packet key space disjoint from the small
+/// stream ids the jammers use (0xb1, 0xb2 — see jammer_rng in
+/// harness/experiment.hpp). Logical ids are never recycled, so a slab's
+/// next tenant always draws from a fresh, decorrelated coin key.
 constexpr std::uint64_t kPacketCoinStream = 1ULL << 32;
+
+constexpr PacketId kNoPacket = std::numeric_limits<PacketId>::max();
 
 }  // namespace
 
@@ -55,28 +61,30 @@ void SimCore::inject_arrivals_at(Slot t) {
     const std::uint64_t count = pending_->count;
     pending_.reset();
     for (std::uint64_t i = 0; i < count; ++i) {
-      const auto id = n_packets_++;
-      Packet& pkt = shards_[id % shards_.size()].emplace(id);
+      const PacketId id = next_id_++;
+      PacketShard& sh = shards_[id % shards_.size()];
+      PacketStore& store = sh.store();
+      const std::uint32_t slab = store.acquire(id);
+      Packet& pkt = store.at(slab);
       pkt.proto = factory_.create();
       pkt.rng = Rng::stream(config_.seed, id);
-      pkt.coin = CounterRng(config_.seed, kPacketCoinStream + id);
+      store.coin_key(slab) = CounterRng(config_.seed, kPacketCoinStream + id).key();
       pkt.arrival = t;
       pkt.active = true;
-      pkt.send_prob = pkt.proto->send_prob();
+      store.send_prob(slab) = pkt.proto->send_prob();
       // A packet injected at slot t may act in slot t itself (Fig. 1 sets
       // w_u(t) = w_min at the injection slot), so the first gap is
       // anchored at t, not t+1.
       const std::uint64_t gap = pkt.proto->draw_gap(pkt.rng);
-      pkt.next_access = gap == kNoSlot ? kNoSlot : t + gap - 1;
-      if (pkt.next_access != kNoSlot) {
-        shards_[id % shards_.size()].wheel().schedule(id, pkt.next_access);
-      }
-      counters_.contention += pkt.send_prob;
+      const Slot first = gap == kNoSlot ? kNoSlot : t + gap - 1;
+      store.next_access(slab) = first;
+      if (first != kNoSlot) sh.wheel().schedule(slab, first);
+      counters_.contention += store.send_prob(slab);
       ++counters_.arrivals;
       ++counters_.backlog;
       max_window_ = std::max(max_window_, pkt.proto->window());
-      pkt.active_pos = static_cast<std::uint32_t>(active_ids_.size());
-      active_ids_.push_back(id);
+      pkt.active_pos = static_cast<std::uint32_t>(active_.size());
+      active_.push_back(ActiveRef{id, slab});
       for (auto* obs : observers_) obs->on_arrival(t, id, *pkt.proto);
     }
     peak_backlog_ = std::max(peak_backlog_, counters_.backlog);
@@ -105,27 +113,41 @@ bool SimCore::no_future_access() const noexcept {
   return true;
 }
 
-void SimCore::depart(Slot t, std::uint32_t id) {
-  Packet& pkt = packet(id);
+void SimCore::depart(Slot t, std::size_t shard_idx, std::uint32_t slab) {
+  PacketStore& store = shards_[shard_idx].store();
+  Packet& pkt = store.at(slab);
   assert(pkt.active);
   // No wheel entry to drop: a packet departs only in a slot it accessed,
   // and its entry for that slot was popped before the resolve ran. Mark
   // the access spent so nothing re-schedules it.
-  pkt.next_access = kNoSlot;
+  store.next_access(slab) = kNoSlot;
   pkt.active = false;
-  counters_.contention -= pkt.send_prob;
+  counters_.contention -= store.send_prob(slab);
   --counters_.backlog;
   ++counters_.successes;
   // Swap-remove from the active list in O(1) via the stored position.
   const std::uint32_t pos = pkt.active_pos;
-  assert(pos < active_ids_.size() && active_ids_[pos] == id);
-  active_ids_[pos] = active_ids_.back();
-  packet(active_ids_[pos]).active_pos = pos;
-  active_ids_.pop_back();
+  assert(pos < active_.size() && active_[pos].id == pkt.id && active_[pos].slab == slab);
+  active_[pos] = active_.back();
+  const ActiveRef& moved = active_[pos];
+  shards_[moved.id % shards_.size()].store().at(moved.slab).active_pos = pos;
+  active_.pop_back();
   latency_stats_.add(static_cast<double>(t - pkt.arrival + 1));
+  // Fold the departed packet's per-packet stats NOW — its record may be
+  // reclaimed at the end of this slot. At most one packet departs per
+  // slot, so the accumulation order (departures in slot order, then the
+  // survivors in ascending id at finish) is canonical: independent of
+  // engine, shard count, slab placement, and reclamation.
+  access_stats_.add(static_cast<double>(pkt.accesses));
+  send_stats_.add(static_cast<double>(pkt.sends));
+  access_hist_.add(static_cast<double>(pkt.accesses));
+  max_accesses_ = std::max(max_accesses_, pkt.accesses);
   for (auto* obs : observers_) {
-    obs->on_departure(t, id, pkt.arrival, pkt.accesses, pkt.sends, pkt.proto->window());
+    obs->on_departure(t, pkt.id, pkt.arrival, pkt.accesses, pkt.sends, pkt.proto->window());
   }
+  // The slab is released only after phase 3 — it is still referenced by
+  // this slot's accessor list (which checks `active`).
+  if (config_.reclaim) reclaim_pending_ = {shard_idx, slab};
 }
 
 void SimCore::run_phase(Phase phase, PacketShard& shard) {
@@ -162,7 +184,7 @@ void SimCore::run_sharded(std::size_t total_accessors, Phase phase) {
 }
 
 // Visits every accessor-aligned entry across the shards in canonical
-// ascending-packet-id order: `list_of(shard)` selects the (sorted)
+// ascending-LOGICAL-id order: `list_of(shard)` selects the (sorted)
 // per-shard id list, fn(id, shard_index, pos) handles one entry. Both
 // serial phases use THIS loop, so they cannot disagree on the canonical
 // order — which is the determinism contract.
@@ -170,45 +192,58 @@ template <typename GetList, typename Fn>
 void SimCore::for_each_in_id_order(GetList&& list_of, Fn&& fn) {
   std::fill(scratch_pos_.begin(), scratch_pos_.end(), 0);
   for (;;) {
-    std::uint32_t best = UINT32_MAX;
+    PacketId best = kNoPacket;
     std::size_t best_shard = 0;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      const std::vector<std::uint32_t>& ids = list_of(shards_[s]);
+      const std::vector<PacketId>& ids = list_of(shards_[s]);
       if (scratch_pos_[s] < ids.size() && ids[scratch_pos_[s]] < best) {
         best = ids[scratch_pos_[s]];
         best_shard = s;
       }
     }
-    if (best == UINT32_MAX) break;
+    if (best == kNoPacket) break;
     fn(best, best_shard, scratch_pos_[best_shard]++);
   }
 }
 
-// Phase 1 — parallel per shard: canonicalize the bucket (ascending id),
-// tally accesses, and evaluate the slot-keyed send coins in one batched
-// call. Writes only shard-owned state.
+// Phase 1 — parallel per shard: canonicalize the bucket (ascending
+// LOGICAL id — slab order is placement, not identity, and recycling
+// makes it non-monotone), tally accesses, and evaluate the slot-keyed
+// send coins in one batched call. Writes only shard-owned state.
 void SimCore::phase_send_draws(Slot t, PacketShard& shard) {
+  PacketStore& store = shard.store();
   auto& acc = shard.accessors;
-  std::sort(acc.begin(), acc.end());
   const std::size_t k = acc.size();
+  auto& tmp = shard.sort_tmp;
+  tmp.resize(k);
+  for (std::size_t i = 0; i < k; ++i) tmp[i] = {store.at(acc[i]).id, acc[i]};
+  std::sort(tmp.begin(), tmp.end());
+  shard.accessor_ids.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    shard.accessor_ids[i] = tmp[i].first;
+    acc[i] = tmp[i].second;
+  }
   shard.senders.clear();
+  shard.sender_ids.clear();
   shard.coin_keys.resize(k);
   shard.coin_ps.resize(k);
   shard.coin_out.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
-    Packet& pkt = shard.packet(acc[i]);
+    Packet& pkt = store.at(acc[i]);
+    assert(pkt.active);  // a reclaimed slab can never sit in the wheel
     ++pkt.accesses;
-    shard.coin_keys[i] = pkt.coin.key();
+    shard.coin_keys[i] = store.coin_key(acc[i]);
     shard.coin_ps[i] = pkt.proto->send_prob_given_access();
   }
   CounterRng::bernoulli_batch(shard.coin_keys.data(), shard.coin_ps.data(), k, t,
                               shard.coin_out.data());
   for (std::size_t i = 0; i < k; ++i) {
-    Packet& pkt = shard.packet(acc[i]);
+    Packet& pkt = store.at(acc[i]);
     pkt.sent = shard.coin_out[i] != 0;
     if (pkt.sent) {
       ++pkt.sends;
       shard.senders.push_back(acc[i]);
+      shard.sender_ids.push_back(shard.accessor_ids[i]);
     }
   }
 }
@@ -219,10 +254,11 @@ void SimCore::phase_send_draws(Slot t, PacketShard& shard) {
 // callbacks) are only RECORDED here, in `outcomes`, and applied by the
 // serial shard-merge in resolve_phases.
 void SimCore::phase_feedback(Slot t, Feedback fb, PacketShard& shard) {
+  PacketStore& store = shard.store();
   const auto& acc = shard.accessors;
   shard.outcomes.assign(acc.size(), {});
   for (std::size_t i = 0; i < acc.size(); ++i) {
-    Packet& pkt = shard.packet(acc[i]);
+    Packet& pkt = store.at(acc[i]);
     PacketShard::Outcome& out = shard.outcomes[i];
     if (!pkt.active) {
       out.departed = true;  // the slot's winner: no feedback, no redraw
@@ -232,11 +268,12 @@ void SimCore::phase_feedback(Slot t, Feedback fb, PacketShard& shard) {
     pkt.proto->on_observation(Observation{fb, pkt.sent});
     out.new_window = pkt.proto->window();
     const double new_sp = pkt.proto->send_prob();
-    out.contention_delta = new_sp - pkt.send_prob;
-    pkt.send_prob = new_sp;
+    out.contention_delta = new_sp - store.send_prob(acc[i]);
+    store.send_prob(acc[i]) = new_sp;
     const std::uint64_t gap = pkt.proto->draw_gap(pkt.rng);
-    pkt.next_access = gap == kNoSlot ? kNoSlot : t + gap;
-    if (pkt.next_access != kNoSlot) shard.wheel().schedule(acc[i], pkt.next_access);
+    const Slot next = gap == kNoSlot ? kNoSlot : t + gap;
+    store.next_access(acc[i]) = next;
+    if (next != kNoSlot) shard.wheel().schedule(acc[i], next);
   }
 }
 
@@ -248,10 +285,10 @@ void SimCore::resolve_slot(Slot t) {
   resolve_phases(t);
 }
 
-void SimCore::resolve_slot(Slot t, std::span<const std::uint32_t> accessor_ids) {
+void SimCore::resolve_slot(Slot t, std::span<const ActiveRef> accessors) {
   for (PacketShard& shard : shards_) shard.accessors.clear();
-  for (std::uint32_t id : accessor_ids) {
-    shards_[id % shards_.size()].accessors.push_back(id);
+  for (const ActiveRef& ref : accessors) {
+    shards_[ref.id % shards_.size()].accessors.push_back(ref.slab);
   }
   resolve_phases(t);
 }
@@ -269,30 +306,32 @@ void SimCore::resolve_phases(Slot t) {
   //    id order; adaptive jammers see `view` (state through slot t-1 plus
   //    this slot's injections, which are the adversary's own); reactive
   //    jammers additionally see the sender list.
-  scratch_senders_.clear();
   scratch_sender_pids_.clear();
-  for_each_in_id_order([](PacketShard& s) -> const std::vector<std::uint32_t>& {
-    return s.senders;
-  },
-                       [this](std::uint32_t id, std::size_t, std::size_t) {
-                         scratch_senders_.push_back(id);
-                         scratch_sender_pids_.push_back(id);
-                       });
+  scratch_sender_slabs_.clear();
+  for_each_in_id_order(
+      [](PacketShard& s) -> const std::vector<PacketId>& { return s.sender_ids; },
+      [this](PacketId id, std::size_t sh, std::size_t pos) {
+        scratch_sender_pids_.push_back(id);
+        scratch_sender_slabs_.push_back(shards_[sh].senders[pos]);
+      });
   const bool jammed = jammer_.jam(t, view(), scratch_sender_pids_);
 
   //    Outcome (§1.1): jam => noisy; two senders => noisy; one sender and
   //    no jam => success; else empty.
-  const bool success = !jammed && scratch_senders_.size() == 1;
+  const bool success = !jammed && scratch_sender_pids_.size() == 1;
   Feedback fb = Feedback::kNoisy;
   if (success) {
     fb = Feedback::kSuccess;
-  } else if (!jammed && scratch_senders_.empty()) {
+  } else if (!jammed && scratch_sender_pids_.empty()) {
     fb = Feedback::kEmpty;
   }
 
   //    Departure of the winner (it learns its success implicitly and never
   //    receives an on_observation callback).
-  if (success) depart(t, scratch_senders_.front());
+  if (success) {
+    const PacketId winner = scratch_sender_pids_.front();
+    depart(t, winner % shards_.size(), scratch_sender_slabs_.front());
+  }
 
   // 3. Feedback to every other accessor + gap redraw + wheel
   //    re-registration, parallel per shard ...
@@ -303,8 +342,8 @@ void SimCore::resolve_phases(Slot t) {
   //    deltas and fire the window-change observers in ascending-id order
   //    (the FP accumulation order is part of the determinism contract).
   for_each_in_id_order(
-      [](PacketShard& s) -> const std::vector<std::uint32_t>& { return s.accessors; },
-      [this, t](std::uint32_t id, std::size_t shard, std::size_t pos) {
+      [](PacketShard& s) -> const std::vector<PacketId>& { return s.accessor_ids; },
+      [this, t](PacketId id, std::size_t shard, std::size_t pos) {
         const PacketShard::Outcome& out = shards_[shard].outcomes[pos];
         if (out.departed) return;
         counters_.contention += out.contention_delta;
@@ -322,11 +361,20 @@ void SimCore::resolve_phases(Slot t) {
   SlotInfo info;
   info.slot = t;
   info.accessors = static_cast<std::uint32_t>(total);
-  info.senders = static_cast<std::uint32_t>(scratch_senders_.size());
+  info.senders = static_cast<std::uint32_t>(scratch_sender_pids_.size());
   info.jammed = jammed;
   info.success = success;
   info.feedback = fb;
   for (auto* obs : observers_) obs->on_slot(info, counters_);
+
+  // 5. Open-system reclamation: the winner's slab goes back to its
+  //    shard's free list now that phase 3 and every observer are done
+  //    with the record. The NEXT arrival may reuse it — under a fresh
+  //    logical id, so nothing observable changes (see sim_core.hpp).
+  if (reclaim_pending_) {
+    shards_[reclaim_pending_->first].store().release(reclaim_pending_->second);
+    reclaim_pending_.reset();
+  }
 }
 
 void SimCore::account_quiet_span(Slot lo, Slot hi) {
@@ -341,18 +389,20 @@ void SimCore::account_quiet_span(Slot lo, Slot hi) {
 
 double SimCore::recompute_contention() const {
   double c = 0.0;
-  for (std::uint32_t id : active_ids_) {
-    c += shards_[id % shards_.size()].packet(id).proto->send_prob();
-  }
+  for (const ActiveRef& ref : active_) c += packet_at(ref).proto->send_prob();
   return c;
 }
 
 void SimCore::finish(RunResult* result) {
-  // Per-packet stats sweep in global id order: the accumulation order —
-  // and therefore every derived statistic, bit for bit — is independent
-  // of the shard count.
-  for (std::uint32_t id = 0; id < n_packets_; ++id) {
-    const Packet& pkt = packet(id);
+  // Departed packets folded their stats at departure (slot order); the
+  // survivors are swept here in ascending LOGICAL id — the accumulation
+  // order, and therefore every derived statistic bit for bit, is
+  // independent of the shard count, the engine, and slab placement.
+  std::vector<ActiveRef> live(active_);
+  std::sort(live.begin(), live.end(),
+            [](const ActiveRef& a, const ActiveRef& b) { return a.id < b.id; });
+  for (const ActiveRef& ref : live) {
+    const Packet& pkt = packet_at(ref);
     access_stats_.add(static_cast<double>(pkt.accesses));
     send_stats_.add(static_cast<double>(pkt.sends));
     access_hist_.add(static_cast<double>(pkt.accesses));
@@ -364,6 +414,10 @@ void SimCore::finish(RunResult* result) {
   result->peak_backlog = peak_backlog_;
   result->max_window_seen = max_window_;
   result->jams_total = jammer_.jams_used();
+  for (const PacketShard& s : shards_) {
+    result->slab_capacity += s.store().capacity();
+    result->slabs_recycled += s.store().recycled();
+  }
   result->access_stats = access_stats_;
   result->send_stats = send_stats_;
   result->latency_stats = latency_stats_;

@@ -1,48 +1,39 @@
-// Shard-local slice of the simulation state: packet storage, the shard's
-// own AccessWheel, and the per-slot scratch the three resolve phases fill
-// in parallel.
+// Shard-local slice of the simulation state: the shard's PacketStore
+// (slab/SoA packet storage with id recycling — see packet_store.hpp),
+// its own AccessWheel, and the per-slot scratch the three resolve phases
+// fill in parallel.
 //
-// A run with S shards assigns packet id to shard id % S (local index
-// id / S), so the shard of a packet is a pure function of its id and the
-// shard count. Everything a phase writes while running concurrently is
-// confined to its own shard: packets, wheel, and the scratch buffers
-// below. Cross-shard state (channel outcome, jammer, observers, counters,
-// contention) lives in SimCore and is only touched in the serial phases,
-// in canonical ascending-packet-id order — which is what makes a sharded
-// run bit-identical to --shards=1 (see sim_core.hpp).
+// A run with S shards assigns the packet with logical id to shard
+// id % S, so the shard of a packet is a pure function of its id and the
+// shard count — slab placement never leaks into it. Everything a phase
+// writes while running concurrently is confined to its own shard:
+// packet slabs, wheel, and the scratch buffers below. Cross-shard state
+// (channel outcome, jammer, observers, counters, contention) lives in
+// SimCore and is only touched in the serial phases, in canonical
+// ascending-LOGICAL-id order — which is what makes a sharded run
+// bit-identical to --shards=1 (see sim_core.hpp).
+//
+// The wheel and the scratch lists index packets by SLAB handle (the
+// wheel's payload is opaque to it); the aligned *_ids lists carry the
+// logical ids so the serial merges can compare identities without
+// touching the records.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
-#include "core/rng.hpp"
 #include "core/types.hpp"
-#include "protocols/protocol.hpp"
 #include "sim/access_wheel.hpp"
+#include "sim/packet_store.hpp"
 
 namespace lowsense::detail {
-
-struct Packet {
-  std::unique_ptr<Protocol> proto;
-  Rng rng{0};          ///< per-packet stream: gap draws (geometric / windowed)
-  CounterRng coin{0};  ///< slot-keyed send coins: pure in (seed, id, slot)
-  Slot arrival = 0;
-  Slot next_access = kNoSlot;  ///< absolute slot of the next channel access
-  std::uint64_t accesses = 0;
-  std::uint64_t sends = 0;
-  double send_prob = 0.0;  ///< cached contribution to contention C(t)
-  std::uint32_t active_pos = 0;  ///< index into SimCore::active_ids_
-  bool active = false;
-  bool sent = false;  ///< scratch: did it transmit in the slot being resolved?
-};
 
 class PacketShard {
  public:
   /// What the parallel feedback phase computes per accessor; applied to
   /// the shared layer serially, merged across shards in ascending-id
-  /// order. Entries are aligned with `accessors` (sorted by id).
+  /// order. Entries are aligned with `accessors` (sorted by logical id).
   struct Outcome {
     double contention_delta = 0.0;  ///< new send_prob - old send_prob
     double old_window = 0.0;
@@ -56,26 +47,11 @@ class PacketShard {
 
   std::uint32_t index() const noexcept { return index_; }
 
-  /// True iff global packet id belongs to this shard.
-  bool owns(std::uint32_t id) const noexcept { return id % of_ == index_; }
+  /// True iff the packet with logical id belongs to this shard.
+  bool owns(PacketId id) const noexcept { return id % of_ == index_; }
 
-  /// Storage for a NEW packet; `id` must be the next id owned by this
-  /// shard (ids arrive globally in injection order 0, 1, 2, ...).
-  Packet& emplace(std::uint32_t id) {
-    assert(owns(id) && id / of_ == packets_.size());
-    return packets_.emplace_back();
-  }
-
-  Packet& packet(std::uint32_t id) noexcept {
-    assert(owns(id));
-    return packets_[id / of_];
-  }
-  const Packet& packet(std::uint32_t id) const noexcept {
-    assert(owns(id));
-    return packets_[id / of_];
-  }
-
-  std::uint64_t size() const noexcept { return packets_.size(); }
+  PacketStore& store() noexcept { return store_; }
+  const PacketStore& store() const noexcept { return store_; }
 
   AccessWheel& wheel() noexcept { return wheel_; }
   const AccessWheel& wheel() const noexcept { return wheel_; }
@@ -83,9 +59,12 @@ class PacketShard {
   // ------------------------------------------------- per-slot scratch
   // Filled by SimCore's resolve phases; kept here so each phase only
   // ever writes shard-owned memory while running in parallel.
-  std::vector<std::uint32_t> accessors;  ///< this slot's bucket, sorted by id
-  std::vector<std::uint32_t> senders;    ///< subset that transmitted, sorted
+  std::vector<std::uint32_t> accessors;  ///< slab handles, sorted by logical id
+  std::vector<PacketId> accessor_ids;    ///< logical ids, aligned with accessors
+  std::vector<std::uint32_t> senders;    ///< transmitting subset (slabs, same order)
+  std::vector<PacketId> sender_ids;      ///< logical ids, aligned with senders
   std::vector<Outcome> outcomes;         ///< aligned with `accessors`
+  std::vector<std::pair<PacketId, std::uint32_t>> sort_tmp;  ///< canonicalize scratch
   std::vector<std::uint64_t> coin_keys;  ///< batched send-draw inputs
   std::vector<double> coin_ps;
   std::vector<std::uint8_t> coin_out;
@@ -93,7 +72,7 @@ class PacketShard {
  private:
   std::uint32_t index_;
   std::uint32_t of_;
-  std::vector<Packet> packets_;
+  PacketStore store_;
   AccessWheel wheel_;
 };
 

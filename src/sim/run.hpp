@@ -27,6 +27,16 @@ struct RunConfig {
   /// every value — sharding changes wall time, never the trace — so it
   /// composes freely with replicate-level parallelism (--threads=).
   unsigned shards = 1;
+
+  /// Open-system storage: recycle a departed packet's slab so resident
+  /// memory tracks the LIVE backlog instead of the arrival horizon.
+  /// Every observable quantity is keyed on logical packet ids (which are
+  /// never reused), so results are bit-identical for either value on any
+  /// finite scenario — bench_t14 enforces that as a hard check. `false`
+  /// keeps the closed-population layout (slabs are never reused; memory
+  /// grows with total arrivals), retained for that cross-check and for
+  /// post-run inspection of departed packets.
+  bool reclaim = true;
 };
 
 struct RunResult {
@@ -36,6 +46,10 @@ struct RunResult {
   std::uint64_t peak_backlog = 0;         ///< max packets simultaneously in system
   double max_window_seen = 0.0;           ///< w_max over the whole run
   std::uint64_t jams_total = 0;           ///< jammer's own count (incl. inactive slots)
+  std::uint64_t slab_capacity = 0;        ///< packet slabs ever allocated (Σ over shards):
+                                          ///< ≈ peak live backlog with reclaim, total
+                                          ///< arrivals without — the memory-model witness
+  std::uint64_t slabs_recycled = 0;       ///< slab acquisitions served from the free lists
   StreamingStats access_stats;   ///< per-packet accesses (all packets, incl. survivors)
   StreamingStats send_stats;     ///< per-packet transmissions
   StreamingStats latency_stats;  ///< departure - arrival (departed packets only)

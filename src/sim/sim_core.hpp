@@ -5,12 +5,24 @@
 // registered at every point a packet's next_access changes, which is what
 // makes the engines trace-equivalent by construction.
 //
+// OPEN-SYSTEM STORAGE. Packets live in per-shard PacketStores (slab/SoA
+// layout, see packet_store.hpp). Arrivals stream in from the pull-based
+// ArrivalProcess as the run advances — nothing is materialized up front —
+// and with config.reclaim (the default) a departed packet's slab returns
+// to its shard's free list at the end of the slot it departed in, so
+// resident memory is proportional to the live backlog even on unbounded
+// arrival streams. Identity is the logical PacketId (injection sequence
+// number, never reused): it keys the gap stream and the slot-keyed send
+// coins, decides the owning shard (id % S), and defines the canonical
+// order below, so reclamation cannot change any observable result.
+//
 // SHARDING. A run with config.shards = S splits the packet population
 // over S PacketShards (packet id -> shard id % S) and resolves each slot
 // in three phases:
 //
-//   1. send-draw   — parallel per shard: sort the shard's bucket, batch-
-//                    evaluate the slot-keyed send coins, tally accesses.
+//   1. send-draw   — parallel per shard: sort the shard's bucket by
+//                    logical id, batch-evaluate the slot-keyed send
+//                    coins, tally accesses.
 //   2. arbitration — serial: merge senders in ascending-id order, consult
 //                    the jammer, decide the outcome, depart the winner.
 //   3. feedback    — parallel per shard: deliver the observation, redraw
@@ -19,12 +31,16 @@
 //                    deltas and fires observers in ascending-id order.
 //
 // Determinism invariant: every cross-packet effect (the sender list, the
-// floating-point contention accumulation, observer callbacks, the stats
-// sweep in finish()) happens in CANONICAL ascending-packet-id order, and
-// every per-packet random draw comes either from the packet's own stream
-// (gaps) or from a slot-keyed coin (sends) — so the results of a run are
-// a pure function of (scenario, seed), independent of the shard count and
-// of scheduling: --shards=S is bit-identical to --shards=1.
+// floating-point contention accumulation, observer callbacks, the
+// per-packet stats accumulation) happens in a CANONICAL order — ascending
+// logical id within a slot, slot order across slots (departed packets
+// fold their stats at departure; survivors are swept in ascending id at
+// finish) — and every per-packet random draw comes either from the
+// packet's own stream (gaps) or from a slot-keyed coin (sends), both
+// keyed on the logical id. So the results of a run are a pure function
+// of (scenario, seed), independent of the shard count, the engine, slab
+// placement, and reclamation: --shards=S is bit-identical to --shards=1,
+// and reclaim on is bit-identical to reclaim off.
 #pragma once
 
 #include <cassert>
@@ -66,9 +82,9 @@ class SimCore {
   void resolve_slot(Slot t);
 
   /// Legacy form taking an explicit accessor list (the micro-benchmark's
-  /// O(n_active) scan); partitions the ids into the shards' buckets and
+  /// O(n_active) scan); partitions the refs into the shards' buckets and
   /// resolves identically. The caller must have drained the wheels for t.
-  void resolve_slot(Slot t, std::span<const std::uint32_t> accessor_ids);
+  void resolve_slot(Slot t, std::span<const ActiveRef> accessors);
 
   /// Accounts a maximal access-free active span [lo, hi] (event engine).
   void account_quiet_span(Slot lo, Slot hi);
@@ -77,10 +93,14 @@ class SimCore {
   std::uint64_t n_active() const noexcept { return counters_.backlog; }
   const Counters& counters() const noexcept { return counters_; }
   SystemView view() const noexcept;
-  Packet& packet(std::uint32_t id) noexcept {
-    return shards_[id % shards_.size()].packet(id);
+  /// Handles of every in-system packet (unordered; swap-removed).
+  const std::vector<ActiveRef>& active() const noexcept { return active_; }
+  const Packet& packet_at(const ActiveRef& ref) const noexcept {
+    return shards_[ref.id % shards_.size()].store().at(ref.slab);
   }
-  const std::vector<std::uint32_t>& active_ids() const noexcept { return active_ids_; }
+  Slot next_access_at(const ActiveRef& ref) const noexcept {
+    return shards_[ref.id % shards_.size()].store().next_access(ref.slab);
+  }
   bool arrivals_exhausted() const noexcept { return arrivals_done_ && !pending_; }
 
   unsigned shard_count() const noexcept { return static_cast<unsigned>(shards_.size()); }
@@ -121,7 +141,7 @@ class SimCore {
   /// phase_fb_, written by the serial code before the fork.
   enum class Phase : std::uint32_t { kSendDraws, kFeedback };
 
-  void depart(Slot t, std::uint32_t id);
+  void depart(Slot t, std::size_t shard_idx, std::uint32_t slab);
   void resolve_phases(Slot t);
   void run_phase(Phase phase, PacketShard& shard);
   void phase_send_draws(Slot t, PacketShard& shard);
@@ -131,7 +151,8 @@ class SimCore {
   /// canonical results either way.
   void run_sharded(std::size_t total_accessors, Phase phase);
   /// Visits accessor-aligned entries of all shards in canonical
-  /// ascending-packet-id order (the one merge both serial phases use).
+  /// ascending-LOGICAL-id order (the one merge both serial phases use).
+  /// `list_of(shard)` selects the per-shard sorted id list.
   template <typename GetList, typename Fn>
   void for_each_in_id_order(GetList&& list_of, Fn&& fn);
 
@@ -142,13 +163,16 @@ class SimCore {
 
   std::vector<PacketShard> shards_;
   std::optional<ParallelExecutor> pool_;  ///< persistent; shards > 1 only
-  std::uint32_t n_packets_ = 0;
-  std::vector<std::uint32_t> active_ids_;  ///< ids of in-system packets
-  std::vector<std::uint32_t> scratch_senders_;
+  PacketId next_id_ = 0;                  ///< logical ids handed out so far
+  std::vector<ActiveRef> active_;         ///< in-system packets (unordered)
   std::vector<PacketId> scratch_sender_pids_;
+  std::vector<std::uint32_t> scratch_sender_slabs_;  ///< aligned with pids
   std::vector<std::size_t> scratch_pos_;  ///< per-shard merge cursors
   std::optional<ArrivalBurst> pending_;
   bool arrivals_done_ = false;
+  /// The slot winner's slab, released (if config_.reclaim) only after
+  /// phase 3 and the observers are done with the record.
+  std::optional<std::pair<std::size_t, std::uint32_t>> reclaim_pending_;
 
   Slot phase_slot_ = 0;                    ///< inputs of the forked phases,
   Feedback phase_fb_ = Feedback::kEmpty;   ///< set serially before each fork
@@ -156,7 +180,9 @@ class SimCore {
   Counters counters_;
   std::vector<Observer*> observers_;
 
-  // Result accumulation.
+  // Result accumulation. Departed packets fold their per-packet stats at
+  // departure (canonical: one departure per slot, slot order); survivors
+  // are swept in ascending id order at finish().
   std::uint64_t max_accesses_ = 0;
   std::uint64_t peak_backlog_ = 0;
   double max_window_ = 0.0;

@@ -92,6 +92,53 @@ TEST(AccessWheel, OverflowMigrationPreservesSchedulingOrderWithinSlot) {
   EXPECT_EQ(pop(w, far), (std::vector<std::uint32_t>{7, 8}));
 }
 
+TEST(AccessWheel, CoarseAndFarBoundaryEdges) {
+  // One entry on each side of every level boundary: first level-2 slot,
+  // last level-2 slot, first level-3 (far-map) slot.
+  AccessWheel w;
+  const Slot l2_first = AccessWheel::kWindow;
+  const Slot l2_last = AccessWheel::kCoarseSpan - 1;
+  const Slot far_first = AccessWheel::kCoarseSpan;
+  w.schedule(1, far_first);
+  w.schedule(2, l2_last);
+  w.schedule(3, l2_first);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.next_scheduled(), l2_first);
+
+  EXPECT_EQ(pop(w, l2_first), (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(w.next_scheduled(), l2_last);
+  EXPECT_EQ(pop(w, l2_last), (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(w.next_scheduled(), far_first);
+  EXPECT_EQ(pop(w, far_first), (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(AccessWheel, InWindowEntriesParkedInTheNextCoarseBucketAreVisible) {
+  AccessWheel w;
+  const Slot parked = AccessWheel::kWindow + 5;
+  w.schedule(11, parked);  // out of window now: parks in level 2
+  // Walk the cursor to where `parked` is inside the level-1 window but
+  // its coarse bucket is still one ahead of the cursor's — the entry
+  // stays parked in level 2, yet must be visible to next_scheduled and
+  // pop on time.
+  for (Slot t = 0; t < AccessWheel::kWindow - 2; ++t) ASSERT_TRUE(pop(w, t).empty());
+  EXPECT_EQ(w.next_scheduled(), parked);
+  EXPECT_EQ(pop(w, parked), (std::vector<std::uint32_t>{11}));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(AccessWheel, GiantJumpMigratesThroughAllLevels) {
+  // A single cursor jump past the whole coarse span must pull a far
+  // entry down through level 2 into the ring in one migration chain.
+  AccessWheel w;
+  const Slot far = 2 * AccessWheel::kCoarseSpan + 123;
+  w.schedule(21, far);
+  EXPECT_EQ(w.next_scheduled(), far);
+  EXPECT_EQ(pop(w, far), (std::vector<std::uint32_t>{21}));
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.cursor(), far + 1);
+}
+
 TEST(AccessWheel, NextScheduledWrapsAroundRing) {
   AccessWheel w;
   // Put the cursor deep into the ring, then schedule a slot whose bucket
@@ -122,11 +169,15 @@ TEST(AccessWheel, RandomizedAgainstReferenceMap) {
     const int k = static_cast<int>(uniform(0, 2));
     for (int i = 0; i < k; ++i) {
       Slot target = t;
-      switch (uniform(0, 3)) {
+      switch (uniform(0, 5)) {
         case 0: target = t + uniform(0, 3); break;
         case 1: target = t + uniform(0, AccessWheel::kWindow - 1); break;
         case 2: target = t + AccessWheel::kWindow + uniform(0, 50); break;
-        default: target = t + uniform(0, 100 * AccessWheel::kWindow); break;
+        case 3: target = t + uniform(0, 100 * AccessWheel::kWindow); break;
+        // Level-2/3 boundary straddles: just around the coarse span, and
+        // anywhere across several coarse spans (deep level-3 traffic).
+        case 4: target = t + AccessWheel::kCoarseSpan - 25 + uniform(0, 50); break;
+        default: target = t + uniform(0, 3 * AccessWheel::kCoarseSpan); break;
       }
       w.schedule(next_id, target);
       model[target].push_back(next_id);

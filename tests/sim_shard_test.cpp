@@ -41,16 +41,19 @@ TEST(PacketShard, OwnershipIsIdModuloShardCount) {
   EXPECT_FALSE(shard.owns(0));
 }
 
-TEST(PacketShard, EmplaceAndLookupRoundTrip) {
+TEST(PacketShard, AcquireAndLookupRoundTrip) {
   PacketShard shard(1, 3);
-  // Shard 1 of 3 owns ids 1, 4, 7, ... — emplace in global id order.
+  // Shard 1 of 3 owns ids 1, 4, 7, ... — acquire in global id order.
+  std::vector<std::uint32_t> slabs;
   for (std::uint32_t id : {1u, 4u, 7u, 10u}) {
-    detail::Packet& pkt = shard.emplace(id);
-    pkt.arrival = id;  // marker
+    const std::uint32_t slab = shard.store().acquire(id);
+    shard.store().at(slab).arrival = id;  // marker
+    slabs.push_back(slab);
   }
-  EXPECT_EQ(shard.size(), 4u);
-  for (std::uint32_t id : {1u, 4u, 7u, 10u}) {
-    EXPECT_EQ(shard.packet(id).arrival, id);
+  EXPECT_EQ(shard.store().live(), 4u);
+  for (std::size_t i = 0; i < slabs.size(); ++i) {
+    const detail::Packet& pkt = shard.store().at(slabs[i]);
+    EXPECT_EQ(pkt.arrival, pkt.id);
   }
 }
 
