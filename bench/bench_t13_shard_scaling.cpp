@@ -36,7 +36,9 @@ struct Cell {
   Replicates runs;
   double elapsed = 0.0;
   std::uint64_t slots = 0;
-  double slots_per_sec() const { return elapsed > 0.0 ? static_cast<double>(slots) / elapsed : 0.0; }
+  double slots_per_sec() const {
+    return elapsed > 0.0 ? static_cast<double>(slots) / elapsed : 0.0;
+  }
 };
 
 bool identical(const RunResult& a, const RunResult& b) {

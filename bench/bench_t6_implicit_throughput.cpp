@@ -50,7 +50,8 @@ void body(BenchContext& ctx) {
     std::vector<SeriesPoint> series;
   };
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<RepOutcome> outcomes = ctx.map(static_cast<std::size_t>(reps), [&](std::size_t i) {
+  const std::vector<RepOutcome> outcomes =
+      ctx.map(static_cast<std::size_t>(reps), [&](std::size_t i) {
     Recorder rec(1.4);
     RepOutcome out;
     out.result = ctx.run_one(s, seed + static_cast<std::uint64_t>(i), {&rec});

@@ -1,0 +1,53 @@
+# Sanitizer wiring for the whole build: the library, every test, every
+# bench, and every example inherit the same instrumentation, so a race or
+# UB in any layer is a hard failure rather than a latent bug. Configure
+# with e.g.
+#
+#   cmake --preset asan-ubsan        # address + undefined, RelWithDebInfo
+#   cmake --preset tsan              # thread, RelWithDebInfo
+#   cmake -B build -S . -DLOWSENSE_SANITIZE="address;undefined"
+#
+# `-fno-sanitize-recover=all` turns every UBSan diagnostic into an abort,
+# so ctest reports it as a test FAILURE instead of scrolling past; the
+# frame pointer stays so reports have usable stacks at -O2.
+
+set(LOWSENSE_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizer list: any of address;undefined;leak, or thread alone")
+
+if(LOWSENSE_SANITIZE)
+  set(_lowsense_san_valid address undefined thread leak)
+  foreach(_san IN LISTS LOWSENSE_SANITIZE)
+    if(NOT _san IN_LIST _lowsense_san_valid)
+      message(FATAL_ERROR
+          "LOWSENSE_SANITIZE: unknown sanitizer '${_san}' "
+          "(valid tokens: address, undefined, thread, leak)")
+    endif()
+  endforeach()
+  if("thread" IN_LIST LOWSENSE_SANITIZE AND
+     ("address" IN_LIST LOWSENSE_SANITIZE OR "leak" IN_LIST LOWSENSE_SANITIZE))
+    message(FATAL_ERROR
+        "LOWSENSE_SANITIZE: 'thread' cannot be combined with 'address' or "
+        "'leak' (TSan and ASan/LSan shadow memory are mutually exclusive); "
+        "use two separate build trees")
+  endif()
+
+  list(JOIN LOWSENSE_SANITIZE "," _lowsense_san_csv)
+  add_compile_options(
+      -fsanitize=${_lowsense_san_csv}
+      -fno-sanitize-recover=all
+      -fno-omit-frame-pointer
+      -g)
+  add_link_options(-fsanitize=${_lowsense_san_csv})
+  message(STATUS "lowsense: sanitizers enabled (-fsanitize=${_lowsense_san_csv})")
+
+  # Sanitizer slowdown (ASan ~2x, TSan 5-15x) would trip the per-test
+  # TIMEOUT properties that exist to catch livelocks; scale them instead
+  # of removing them. Overridable from the command line.
+  if(NOT DEFINED LOWSENSE_TEST_TIMEOUT_MULT)
+    set(LOWSENSE_TEST_TIMEOUT_MULT 6)
+  endif()
+endif()
+
+if(NOT DEFINED LOWSENSE_TEST_TIMEOUT_MULT)
+  set(LOWSENSE_TEST_TIMEOUT_MULT 1)
+endif()

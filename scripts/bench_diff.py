@@ -61,7 +61,8 @@ def load_json(path):
 def collect_files(path):
     """Maps basename -> full path for a file or a directory of BENCH_*.json."""
     if os.path.isdir(path):
-        return {os.path.basename(p): p for p in sorted(glob.glob(os.path.join(path, "BENCH_*.json")))}
+        found = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+        return {os.path.basename(p): p for p in found}
     if os.path.isfile(path):
         return {os.path.basename(path): path}
     sys.stderr.write(f"error: {path} is neither a file nor a directory\n")
@@ -172,7 +173,8 @@ def fmt_rate(v):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("old")
     ap.add_argument("new")
     ap.add_argument("--max-slowdown", type=float, default=0.10,
@@ -296,7 +298,8 @@ def main():
                         f"{args.max_slowdown:.0%}:**\n\n")
                 f.write("| series | old | new | change |\n|---|---:|---:|---:|\n")
                 for name, old_v, new_v, change in regressions:
-                    f.write(f"| `{name}` | {fmt_rate(old_v)} | {fmt_rate(new_v)} | {change:+.1%} |\n")
+                    f.write(f"| `{name}` | {fmt_rate(old_v)} | {fmt_rate(new_v)} "
+                            f"| {change:+.1%} |\n")
             else:
                 f.write(f"No slots/s regression beyond {args.max_slowdown:.0%} "
                         f"across {len(rows)} series.\n")

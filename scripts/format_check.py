@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Mechanical format gate (ctest `format_check`, CI `lint` job).
+
+Enforces the layout invariants that do not need clang-format to verify —
+so they hold on every box, including ones without LLVM tooling:
+
+  * no trailing whitespace
+  * no tab characters (2-space indents throughout)
+  * LF line endings (no CRLF)
+  * every file ends with exactly one newline
+  * C++/Python/CMake lines stay within 100 columns (the .clang-format
+    ColumnLimit)
+
+clang-format itself (dry-run against the checked-in .clang-format) runs
+in the CI lint job where the pinned binary exists; this script is the
+portable floor below it.
+
+Usage: format_check.py [--root=REPO] [--fix]
+  --fix rewrites trailing whitespace / CRLF / missing final newline in
+  place (long lines and tabs still need a human).
+"""
+
+import argparse
+import os
+import sys
+
+CODE_DIRS = ("src", "tests", "bench", "examples", "scripts", "cmake")
+CODE_EXTS = (".cpp", ".hpp", ".h", ".cc", ".py", ".cmake")
+TOP_FILES = ("CMakeLists.txt", "CMakePresets.json")
+SKIP_DIRS = ("tests/data",)  # fixtures and golden files are verbatim
+MAX_COLS = 100
+
+
+def iter_files(root):
+    for name in TOP_FILES:
+        path = os.path.join(root, name)
+        if os.path.isfile(path):
+            yield path
+    for d in CODE_DIRS:
+        base = os.path.join(root, d)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            rel_dir = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            if any(rel_dir == s or rel_dir.startswith(s + "/") for s in SKIP_DIRS):
+                continue
+            for name in sorted(filenames):
+                if name.endswith(CODE_EXTS) or name == "CMakeLists.txt":
+                    yield os.path.join(dirpath, name)
+
+
+def check_file(path, rel, fix):
+    problems = []
+    with open(path, "rb") as f:
+        data = f.read()
+    if not data:
+        return problems
+
+    if b"\r" in data:
+        problems.append((rel, 0, "CRLF/CR line endings (use LF)"))
+    text = data.decode("utf-8", errors="replace")
+    lines = text.split("\n")
+    # text ends with "\n" <=> last split element is ""
+    ends_with_newline = text.endswith("\n")
+    extra_blank_tail = ends_with_newline and text.endswith("\n\n")
+    if not ends_with_newline:
+        problems.append((rel, len(lines), "missing final newline"))
+    if extra_blank_tail:
+        problems.append((rel, len(lines), "trailing blank line(s) at EOF"))
+
+    for i, line in enumerate(lines, start=1):
+        stripped_cr = line.rstrip("\r")
+        if stripped_cr != stripped_cr.rstrip(" \t"):
+            problems.append((rel, i, "trailing whitespace"))
+        if "\t" in line:
+            problems.append((rel, i, "tab character (use spaces)"))
+        if len(stripped_cr) > MAX_COLS and not rel.endswith(".json"):
+            problems.append((rel, i, f"line exceeds {MAX_COLS} columns ({len(stripped_cr)})"))
+
+    if fix:
+        fixed = "\n".join(l.rstrip("\r").rstrip(" \t") for l in lines)
+        fixed = fixed.rstrip("\n") + "\n"
+        if fixed != text:
+            with open(path, "w", encoding="utf-8", newline="\n") as f:
+                f.write(fixed)
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".")
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite whitespace/newline problems in place")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    problems = []
+    count = 0
+    for path in iter_files(root):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        problems.extend(check_file(path, rel, args.fix))
+        count += 1
+    for rel, lineno, what in problems:
+        print(f"{rel}:{lineno}: {what}")
+    if problems and not args.fix:
+        print(f"\nformat_check: {len(problems)} problem(s) in {count} files "
+              "(run scripts/format_check.py --fix for the whitespace ones)",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"format_check: {count} files clean")
+
+
+if __name__ == "__main__":
+    main()

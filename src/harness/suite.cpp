@@ -49,7 +49,8 @@ void print_usage(const BenchDef& def, std::FILE* to) {
                "  changes wall time, never results: --shards=M output == --shards=1 output.\n"
                "--jammer/--arrivals override every scenario's adversary/arrival process:\n"
                "  jammers : none | random:rate[,budget] | burst:period,len | victim:id,budget |\n"
-               "            blanket:budget | band:lo,hi,budget | randband:lo,hi,rate[,budget[,jitter]]\n"
+               "            blanket:budget | band:lo,hi,budget |\n"
+               "            randband:lo,hi,rate[,budget[,jitter]]\n"
                "  arrivals: batch:N | poisson:rate,N | aqt:lambda,S,pattern,N\n"
                "--jam-seed=J pins randomized jammers to one fixed adversary across replicates.\n"
                "--json=PATH writes the structured lowsense-bench/v1 result document.\n");
@@ -199,7 +200,8 @@ Replicates BenchContext::run(Scenario scenario, const KvList& cell_params, int r
 
   const auto t0 = std::chrono::steady_clock::now();
   Replicates out = replicate_parallel(scenario, r, pool_, sd);
-  const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   ScenarioResult res;
   res.name = !scenario.name.empty() ? scenario.name : "scenario-" + std::to_string(++auto_named_);

@@ -1,0 +1,16 @@
+// Fixture: the inline escape hatch. The unordered_map here is a pure
+// lookup cache — nothing ever iterates it — so the justified
+// `// lint: allow(...)` comment suppresses the finding. The second form
+// places the allow on its own line above the construct.
+// expect-clean
+#include <string>
+#include <unordered_map>
+
+int lookup(const std::string& key) {
+  // keyed lookups only, never iterated: order cannot leak
+  static std::unordered_map<std::string, int> cache;  // lint: allow(unordered-container)
+  // lint: allow(unordered-container) — same cache, reverse direction, lookups only
+  static std::unordered_map<int, std::string> reverse;
+  auto it = cache.find(key);
+  return it == cache.end() ? -1 : it->second;
+}

@@ -1,0 +1,12 @@
+// Fixture: the allowlist escape hatch. allowlist.txt in this directory
+// carries `allowed_listed.cpp:raw-rand:...`, so the lint run WITH the
+// allowlist is clean — and the self-test also re-lints this file WITHOUT
+// the allowlist to prove the rule itself still fires.
+// expect-clean
+// expect-lint-without-allowlist: raw-rand
+#include <random>
+
+unsigned shuffle_seed() {
+  std::mt19937 gen(12345);  // suppressed by the allowlist, not by the rule
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,18 @@
+// Fixture: ordering by pointer value. Heap addresses differ per run
+// (ASLR, allocator history), so this sort produces a different canonical
+// order every time — exactly what the ascending-logical-id merge exists
+// to prevent.
+// expect-lint: pointer-order
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+struct Packet {
+  int id;
+};
+
+void sort_by_address(std::vector<Packet*>& pkts) {
+  std::sort(pkts.begin(), pkts.end(), [](const Packet* a, const Packet* b) {
+    return reinterpret_cast<std::uintptr_t>(a) < reinterpret_cast<std::uintptr_t>(b);
+  });
+}

@@ -1,0 +1,12 @@
+// Fixture: randomness that does not flow from core/rng. None of these
+// draws can be replayed from the master seed, so a run using them is not
+// a pure function of (scenario, seed).
+// expect-lint: raw-rand
+#include <cstdlib>
+#include <random>
+
+int jitter_slots() {
+  std::random_device rd;        // hardware entropy: different every run
+  std::mt19937_64 gen(rd());    // seeded off-contract
+  return static_cast<int>(gen() % 7) + rand() % 3;
+}

@@ -1,0 +1,12 @@
+// Fixture: iterating an unordered container to accumulate an observable
+// (the per-window sum ends up in a RunResult-like struct). The iteration
+// order depends on the hash seed and heap addresses, so the FP
+// accumulation order — and the result — varies run to run.
+// expect-lint: unordered-container
+#include <unordered_map>
+
+double window_energy(const std::unordered_map<int, double>& per_packet) {
+  double sum = 0.0;
+  for (const auto& [id, e] : per_packet) sum += e;  // order leaks into FP sum
+  return sum;
+}

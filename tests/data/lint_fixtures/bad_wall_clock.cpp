@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads in a simulation path. Results now depend on
+// WHEN the run happened — the canonical replay-breaking dependency.
+// expect-lint: wall-clock
+#include <chrono>
+#include <ctime>
+
+long long run_stamp() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(now.time_since_epoch()).count() +
+         static_cast<long long>(time(nullptr));
+}

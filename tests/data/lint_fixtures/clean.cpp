@@ -1,0 +1,46 @@
+// Fixture: deterministic idioms that must NOT trip any rule —
+// steady_clock for non-observable timing, CounterRng coins (including in
+// a phase_send_draws body), ordered containers, words that merely embed
+// banned substrings (operand, brand, timeout), and banned constructs
+// inside comments and string literals.
+// expect-clean
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+struct CounterRng {
+  std::uint64_t key;
+  bool bernoulli(std::uint64_t counter, double p) const;
+};
+struct PacketShard {
+  std::vector<std::uint64_t> coin_keys;
+};
+
+struct SimCore {
+  void phase_send_draws(std::uint64_t t, PacketShard& shard);
+};
+
+// Phase-1 body using ONLY slot-keyed CounterRng coins: legal.
+void SimCore::phase_send_draws(std::uint64_t t, PacketShard& shard) {
+  for (std::uint64_t key : shard.coin_keys) {
+    CounterRng coin{key};
+    (void)coin.bernoulli(t, 0.5);
+  }
+}
+
+double elapsed_of(const std::function<void()>& body);  // declared elsewhere
+
+double measure(int operand, const std::string& brand) {
+  const auto t0 = std::chrono::steady_clock::now();  // timing, not observable
+  std::map<int, double> ordered;                     // canonical iteration
+  ordered[operand] = 1.0;
+  double sum = 0.0;
+  for (const auto& [k, v] : ordered) sum += v;
+  // The words rand(), time(), system_clock in this comment must not fire.
+  const std::string note = "calls rand() and time() and system_clock";
+  (void)brand;
+  (void)note;
+  return sum + std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}

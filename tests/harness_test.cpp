@@ -47,7 +47,9 @@ TEST(Harness, SlotEngineSelectable) {
 
 TEST(Harness, CustomJammerIsUsed) {
   Scenario s = batch_scenario(20);
-  s.jammer = [](std::uint64_t) { return std::make_unique<ScheduleJammer>(std::vector<Slot>{0, 1}); };
+  s.jammer = [](std::uint64_t) {
+    return std::make_unique<ScheduleJammer>(std::vector<Slot>{0, 1});
+  };
   const RunResult r = run_scenario(s, 6);
   EXPECT_EQ(r.counters.jammed_active_slots, 2u);
 }
