@@ -17,6 +17,7 @@
 // --jam-seed=J pins randomized jammers to one fixed adversary across
 // replicates (their coins are slot-keyed, so any run replays exactly).
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -26,6 +27,7 @@
 #include "harness/experiment.hpp"
 #include "harness/parallel.hpp"
 #include "harness/report.hpp"
+#include "harness/scenario.hpp"
 #include "metrics/energy.hpp"
 #include "protocols/registry.hpp"
 
@@ -37,7 +39,9 @@ void usage() {
   std::printf("usage: lowsense_cli [--protocol=NAME] [--arrivals=SPEC] [--jammer=SPEC]\n"
               "                    [--reps=K] [--seed=S] [--jam-seed=J] [--threads=T]\n"
               "                    [--shards=M] [--max-active-slots=B] [--engine=event|slot]\n"
-              "                    [--csv] [--json=PATH]\n\n"
+              "                    [--csv] [--json=PATH]\n"
+              "       lowsense_cli --pack=FILE[:name] [--manifest=PATH]\n"
+              "                    [--engine=event|slot] [--shards=M] [--csv]\n\n"
               "protocols: ");
   for (const auto& name : protocol_names()) std::printf("%s ", name.c_str());
   std::printf("\narrivals : batch:N | poisson:rate,N | aqt:lambda,S,pattern,N\n");
@@ -52,6 +56,10 @@ void usage() {
               "cores); results are bit-identical to --shards=1 — use it for one giant run,\n"
               "--threads for many replicates\n");
   std::printf("--json=PATH writes the structured lowsense-bench/v1 result document\n");
+  std::printf("--pack=FILE[:name] runs a scenario pack (every entry, or just `name`) at\n"
+              "the entries' pinned seeds; exit 1 when any pinned digest or expectation\n"
+              "fails. --manifest=PATH writes the lowsense-pack/v1 JSONL manifest, which\n"
+              "is byte-identical for every --engine/--shards combination.\n");
 }
 
 }  // namespace
@@ -74,6 +82,8 @@ int main(int argc, char** argv) {
   const unsigned shards =
       ParallelExecutor::resolve_threads(static_cast<unsigned>(args.u64("shards", 1)));
   const std::string json_path = args.str("json", "");
+  const std::string pack_ref = args.str("pack", "");
+  const std::string manifest_path = args.str("manifest", "");
   const bool csv = args.flag("csv");
 
   Scenario s;
@@ -83,13 +93,15 @@ int main(int argc, char** argv) {
   s.jammer = parse_jammer_spec(jammer_spec, jam_seed);
   s.config.max_active_slots = args.u64("max-active-slots", 50000000ULL);
   s.config.shards = shards;
+  EngineKind engine = EngineKind::kEvent;
   try {
-    s.engine = parse_engine(args.str("engine", "event"));
+    engine = parse_engine(args.str("engine", "event"));
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n\n", e.what());
     usage();
     return 1;
   }
+  s.engine = engine;
 
   // Every accepted flag has been queried above; anything left over is a
   // typo, and a silently ignored --thread=8 is worse than an error.
@@ -110,6 +122,60 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad arrivals/jammer spec\n\n");
     usage();
     return 2;
+  }
+
+  if (!pack_ref.empty()) {
+    // Pack mode: each entry runs once at its pinned seed; --engine= and
+    // --shards= apply unless the entry pins shards itself. The per-entry
+    // flags of the ad-hoc mode (protocol/arrivals/...) are ignored — the
+    // pack IS the scenario definition.
+    ScenarioPack pack;
+    std::string err;
+    if (!load_scenario_pack_ref(pack_ref, &pack, &err)) {
+      std::fprintf(stderr, "%s\n\n", err.c_str());
+      usage();
+      return 2;
+    }
+    std::printf("pack: %s  (%zu scenario%s)\n", pack.name.empty() ? pack_ref.c_str()
+                                                                  : pack.name.c_str(),
+                pack.entries.size(), pack.entries.size() == 1 ? "" : "s");
+    if (!pack.description.empty()) std::printf("%s\n", pack.description.c_str());
+
+    bool all_ok = true;
+    std::vector<PackEntryOutcome> outcomes;
+    Table table({"scenario", "digest", "throughput", "departures", "drained", "verdict"});
+    for (const PackEntry& e : pack.entries) {
+      PackEntryOutcome o = run_pack_entry(
+          e, [engine, shards](Scenario sc, std::uint64_t sd, const std::vector<Observer*>& obs) {
+            if (!sc.engine_locked) sc.engine = engine;
+            if (!sc.shards_locked) sc.config.shards = shards;
+            return run_scenario(sc, sd, obs);
+          });
+      if (!o.digest_ok) {
+        std::fprintf(stderr, "%s: digest mismatch: got %s want %s\n", e.name.c_str(),
+                     o.digest.c_str(), o.expected_digest.c_str());
+      }
+      for (const auto& [text, pass] : o.expect_results) {
+        if (!pass) std::fprintf(stderr, "%s: expectation failed: %s\n", e.name.c_str(),
+                                text.c_str());
+      }
+      all_ok &= o.ok();
+      table.add_row({e.name, o.digest, Table::num(o.metric("throughput"), 3),
+                     Table::num(o.metric("departures"), 0), o.run.drained ? "yes" : "no",
+                     o.ok() ? "ok" : "FAIL"});
+      outcomes.push_back(std::move(o));
+    }
+    std::printf("%s", csv ? table.csv().c_str() : table.render().c_str());
+
+    if (!manifest_path.empty()) {
+      std::ofstream mf(manifest_path, std::ios::binary);
+      mf << render_pack_manifest(pack, outcomes);
+      if (!mf) {
+        std::fprintf(stderr, "cannot write manifest '%s'\n", manifest_path.c_str());
+        return 1;
+      }
+    }
+    return all_ok ? 0 : 1;
   }
 
   const Replicates r = replicate_parallel(s, reps, threads, seed);

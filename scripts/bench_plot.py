@@ -75,6 +75,7 @@ def series_key(doc, sc):
 def extract(files):
     """-> {series: sorted [(n, throughput_median, mean_accesses_median)]}"""
     series = {}
+    skipped = {}  # path -> [scenario names without a numeric sweep param]
     for path in files:
         try:
             with open(path) as f:
@@ -89,6 +90,11 @@ def extract(files):
             try:
                 n = float(n_raw)
             except (TypeError, ValueError):
+                # Not every scenario sweeps a batch size: scenario-pack
+                # entries, for example, are keyed by name alone. Those
+                # are unplottable here, but say so rather than letting
+                # a whole result set vanish silently.
+                skipped.setdefault(path, []).append(sc.get("name", "?"))
                 continue
             if n <= 1:
                 continue
@@ -102,6 +108,12 @@ def extract(files):
             if tp is None and acc is None:
                 continue
             series.setdefault(series_key(doc, sc), {})[n] = (tp, acc)
+    for path, names in sorted(skipped.items()):
+        shown = ", ".join(names[:4]) + (", ..." if len(names) > 4 else "")
+        sys.stderr.write(
+            f"note: {path}: skipped {len(names)} scenario(s) without a "
+            f"numeric sweep param ({shown})\n"
+        )
     return {
         k: sorted((n, tp, acc) for n, (tp, acc) in pts.items())
         for k, pts in series.items()

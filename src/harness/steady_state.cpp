@@ -10,6 +10,7 @@ SteadyStateObserver::SteadyStateObserver(Slot window) : window_(window) {
 }
 
 SteadyWindow& SteadyStateObserver::at_slot(Slot t) {
+  if (t > last_slot_) last_slot_ = t;
   const std::size_t idx = static_cast<std::size_t>(t / window_);
   if (idx >= windows_.size()) {
     const std::size_t old = windows_.size();
@@ -60,7 +61,14 @@ void SteadyStateObserver::on_quiet_span(Slot from, Slot to, std::uint64_t jams,
     const Slot chunk_slots = chunk_end - chunk_start + 1;
 
     // ceil(jams * chunk/span) of the remaining budget, never exceeding it.
-    std::uint64_t chunk_jams = (jams * chunk_slots + span_slots - 1) / span_slots;
+    // The product is formed in 128 bits: a multi-billion-slot chunk times
+    // a multi-billion jam count overflows uint64 and used to silently
+    // drop the whole span's jams (ceil of a wrapped product is ~0).
+    // chunk_slots <= span_slots keeps the ceiling <= jams, so the cast
+    // back down is exact.
+    const unsigned __int128 share =
+        (static_cast<unsigned __int128>(jams) * chunk_slots + span_slots - 1) / span_slots;
+    std::uint64_t chunk_jams = static_cast<std::uint64_t>(share);
     if (chunk_jams > jams_left) chunk_jams = jams_left;
     jams_left -= chunk_jams;
 
@@ -74,6 +82,11 @@ void SteadyStateObserver::on_quiet_span(Slot from, Slot to, std::uint64_t jams,
     chunk_start = chunk_end + 1;
   }
   assert(jams_left == 0);
+  if (to > last_slot_) last_slot_ = to;
+}
+
+void SteadyStateObserver::on_run_end(const Counters& counters) {
+  if (counters.slot > last_slot_) last_slot_ = counters.slot;
 }
 
 SteadySummary SteadyStateObserver::summarize(std::size_t warmup_windows) const {
@@ -89,7 +102,13 @@ SteadySummary SteadyStateObserver::summarize(std::size_t warmup_windows) const {
     if (w.backlog_peak > s.backlog_peak) s.backlog_peak = w.backlog_peak;
     backlog_sum += w.backlog_slot_sum;
     active_sum += w.active_slots;
-    s.window_rate.add(static_cast<double>(w.departures) / static_cast<double>(window_));
+    // Slots the run actually covered in this window. Only the window
+    // holding the run's final slot can be partial; dividing a trailing
+    // partial window by the nominal width used to bias its rate low.
+    const Slot covered =
+        last_slot_ >= w.start + window_ - 1 ? window_ : last_slot_ - w.start + 1;
+    s.covered_slots += covered;
+    s.window_rate.add(static_cast<double>(w.departures) / static_cast<double>(covered));
     s.latency.merge(w.latency);
   }
   s.mean_backlog =

@@ -52,9 +52,27 @@ struct SteadySummary {
   std::uint64_t departures = 0;
   std::uint64_t accesses = 0;
   std::uint64_t backlog_peak = 0;
+  /// Slots the run actually covered within the summarized windows. Every
+  /// window contributes its full width except the last one of a run whose
+  /// horizon ends mid-window, which contributes only the slots up to the
+  /// final observed slot.
+  std::uint64_t covered_slots = 0;
   double mean_backlog = 0.0;      ///< active-slot-weighted across windows
-  StreamingStats window_rate;     ///< per-window departures / window width
+  /// Per-window departures / COVERED slots of that window: a trailing
+  /// partial window is scaled by the slots the run actually reached, not
+  /// the nominal width (which used to bias the rate low). Note a very
+  /// short trailing window is a high-variance sample; shape checks
+  /// should prefer the pooled rate().
+  StreamingStats window_rate;
   StreamingStats latency;         ///< merged over the windows' departures
+
+  /// Pooled post-warmup departure rate: departures per covered slot.
+  /// Robust to a short trailing window, unlike window_rate's mean.
+  double rate() const noexcept {
+    return covered_slots == 0
+               ? 0.0
+               : static_cast<double>(departures) / static_cast<double>(covered_slots);
+  }
 };
 
 class SteadyStateObserver final : public Observer {
@@ -67,8 +85,14 @@ class SteadyStateObserver final : public Observer {
                     std::uint64_t sends, double final_window) override;
   void on_slot(const SlotInfo& info, const Counters& counters) override;
   void on_quiet_span(Slot from, Slot to, std::uint64_t jams, const Counters& counters) override;
+  void on_run_end(const Counters& counters) override;
 
   Slot window_width() const noexcept { return window_; }
+
+  /// Last absolute slot any callback reported (on_run_end pins it to the
+  /// engine's final counters.slot). Defines the covered span of the
+  /// trailing window in summarize().
+  Slot last_slot_seen() const noexcept { return last_slot_; }
 
   /// The window series so far. Windows nobody touched (no arrival, no
   /// active slot) are present but all-zero, so index i always covers
@@ -82,6 +106,7 @@ class SteadyStateObserver final : public Observer {
   SteadyWindow& at_slot(Slot t);
 
   Slot window_;
+  Slot last_slot_ = 0;
   std::vector<SteadyWindow> windows_;
 };
 

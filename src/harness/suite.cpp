@@ -3,9 +3,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <stdexcept>
 #include <utility>
+
+#include "harness/scenario.hpp"
 
 namespace lowsense {
 
@@ -32,7 +35,8 @@ void print_usage(const BenchDef& def, std::FILE* to) {
   std::fprintf(to,
                "usage: bench [--reps=N] [--seed=S] [--threads=K] [--shards=M]\n"
                "             [--engine=event|slot] [--jammer=SPEC] [--jam-seed=J]\n"
-               "             [--arrivals=SPEC] [--json=PATH] [--list] [--help]\n");
+               "             [--arrivals=SPEC] [--json=PATH] [--pack=FILE[:name]]\n"
+               "             [--manifest=PATH] [--list] [--help]\n");
   std::fprintf(to, "defaults: --reps=%d --seed=%llu --threads=1 --engine=event\n", def.default_reps,
                static_cast<unsigned long long>(def.default_seed));
   if (!def.params.empty()) {
@@ -53,7 +57,10 @@ void print_usage(const BenchDef& def, std::FILE* to) {
                "            randband:lo,hi,rate[,budget[,jitter]]\n"
                "  arrivals: batch:N | poisson:rate,N | aqt:lambda,S,pattern,N\n"
                "--jam-seed=J pins randomized jammers to one fixed adversary across replicates.\n"
-               "--json=PATH writes the structured lowsense-bench/v1 result document.\n");
+               "--json=PATH writes the structured lowsense-bench/v1 result document.\n"
+               "--pack=FILE[:name] runs the scenario pack (every entry, or just `name`)\n"
+               "  instead of the bench body; entry digests/expectations become checks.\n"
+               "--manifest=PATH writes the pack's lowsense-pack/v1 JSONL manifest.\n");
 }
 
 void print_list(const BenchDef& def) {
@@ -86,10 +93,11 @@ BenchParam BenchParam::str(std::string key, std::string dflt, std::string help) 
 }
 
 const std::vector<std::string>& suite_flag_keys() {
-  static const std::vector<std::string> kKeys = {"reps",     "seed",   "threads",
-                                                 "shards",   "engine", "jammer",
+  static const std::vector<std::string> kKeys = {"reps",     "seed",     "threads",
+                                                 "shards",   "engine",   "jammer",
                                                  "jam-seed", "arrivals", "json",
-                                                 "list",     "help"};
+                                                 "pack",     "manifest", "list",
+                                                 "help"};
   return kKeys;
 }
 
@@ -123,6 +131,15 @@ bool parse_suite_options(const BenchDef& def, const Args& args, SuiteOptions* ou
     return false;
   }
   out->json_path = args.str("json", "");
+  out->pack_ref = args.str("pack", "");
+  out->manifest_path = args.str("manifest", "");
+  if (!out->pack_ref.empty()) {
+    ScenarioPack pack;
+    if (!load_scenario_pack_ref(out->pack_ref, &pack, error)) return false;
+  } else if (!out->manifest_path.empty()) {
+    *error = "--manifest= needs --pack=";
+    return false;
+  }
   return true;
 }
 
@@ -322,7 +339,30 @@ int run_bench_suite(const BenchDef& def, int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   for (auto* s : sinks) s->begin(meta);
   try {
-    def.body(ctx);
+    if (!opts.pack_ref.empty()) {
+      // Pack mode: the pack replaces the bench body; parse_suite_options
+      // already validated the reference, so a failure here is a race on
+      // the file, not a CLI error.
+      ScenarioPack pack;
+      std::string perr;
+      if (!load_scenario_pack_ref(opts.pack_ref, &pack, &perr)) {
+        std::fprintf(stderr, "%s\n", perr.c_str());
+        return 1;
+      }
+      ctx.section("pack: " + (pack.name.empty() ? opts.pack_ref : pack.name));
+      if (!pack.description.empty()) ctx.note(pack.description);
+      const std::vector<PackEntryOutcome> outcomes = run_scenario_pack(ctx, pack);
+      if (!opts.manifest_path.empty()) {
+        std::ofstream mf(opts.manifest_path, std::ios::binary);
+        mf << render_pack_manifest(pack, outcomes);
+        if (!mf) {
+          std::fprintf(stderr, "cannot write manifest '%s'\n", opts.manifest_path.c_str());
+          return 1;
+        }
+      }
+    } else {
+      def.body(ctx);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench %s failed: %s\n", def.id.c_str(), e.what());
     return 1;

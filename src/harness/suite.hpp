@@ -70,6 +70,13 @@ struct SuiteOptions {
   std::uint64_t jam_seed = 0;
   std::string arrivals_spec;  ///< empty = keep the bench's own arrivals
   std::string json_path;
+  /// --pack=FILE[:name]: run the scenario pack INSTEAD of the bench body
+  /// (the bench still provides the CLI identity and the uniform flags —
+  /// --engine/--shards overrides apply to every entry). Validated eagerly
+  /// at parse time like the jammer/arrival specs.
+  std::string pack_ref;
+  /// --manifest=PATH with --pack=: write the pack's JSONL manifest.
+  std::string manifest_path;
 };
 
 /// Resolves the uniform flags against `def`'s defaults, validating engine

@@ -77,4 +77,79 @@ TraceCapture::OutcomeCounts TraceCapture::tally() const {
   return t;
 }
 
+namespace {
+
+// Event tags keep distinct callback kinds from aliasing under FNV: a
+// departure at slot s must never hash like an arrival at slot s.
+constexpr std::uint64_t kTagArrival = 0xA1;
+constexpr std::uint64_t kTagDeparture = 0xD2;
+constexpr std::uint64_t kTagSlot = 0x51;
+constexpr std::uint64_t kTagEnd = 0xE0;
+
+}  // namespace
+
+void TraceDigest::mix(std::uint64_t word) noexcept {
+  // FNV-1a over the word's 8 little-endian bytes (byte order is fixed by
+  // the shifts, not by the host, so the digest is platform-stable).
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (word >> (8 * i)) & 0xFF;
+    hash_ *= 1099511628211ULL;  // FNV 64-bit prime
+  }
+}
+
+void TraceDigest::on_arrival(Slot slot, PacketId id, const Protocol&) {
+  mix(kTagArrival);
+  mix(slot);
+  mix(id);
+  ++events_;
+}
+
+void TraceDigest::on_departure(Slot slot, PacketId id, Slot arrival_slot, std::uint64_t accesses,
+                               std::uint64_t sends, double /*final_window*/) {
+  mix(kTagDeparture);
+  mix(slot);
+  mix(id);
+  mix(arrival_slot);
+  mix(accesses);
+  mix(sends);
+  ++events_;
+}
+
+void TraceDigest::on_slot(const SlotInfo& info, const Counters& counters) {
+  // Access-free active slots are visible one by one to the slot engine
+  // but only as quiet-span summaries to the event engine; skip them so
+  // both engines fold the identical filtered stream.
+  if (info.accessors == 0) return;
+  mix(kTagSlot);
+  mix(info.slot);
+  mix(info.accessors);
+  mix(info.senders);
+  mix((info.jammed ? 1u : 0u) | (info.success ? 2u : 0u) |
+      (static_cast<std::uint64_t>(info.feedback) << 2));
+  mix(counters.backlog);
+  ++events_;
+}
+
+void TraceDigest::on_run_end(const Counters& counters) {
+  // Final cumulative integers: these fold in the jam/active totals of the
+  // access-free slots the per-slot stream skipped.
+  mix(kTagEnd);
+  mix(counters.slot);
+  mix(counters.active_slots);
+  mix(counters.arrivals);
+  mix(counters.successes);
+  mix(counters.jammed_active_slots);
+  mix(counters.backlog);
+  ++events_;
+}
+
+std::string TraceDigest::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] = digits[(hash_ >> (60 - 4 * i)) & 0xF];
+  }
+  return out;
+}
+
 }  // namespace lowsense

@@ -68,4 +68,43 @@ class TraceCapture final : public Observer {
   std::uint64_t dropped_ = 0;
 };
 
+/// Order-sensitive 64-bit digest (FNV-1a over tagged words) of a run's
+/// engine-exact observable stream. Two runs produce the same digest iff
+/// they observed the same arrivals, departures, access-bearing slots, and
+/// final integer counters — the quantities the determinism contract makes
+/// a pure function of (scenario, seed), independent of engine, shard
+/// count, and storage reclamation.
+///
+/// What the digest deliberately EXCLUDES keeps it engine-invariant:
+///  * on_slot events with zero accessors — the slot engine reports every
+///    active slot, the event engine compresses access-free stretches into
+///    quiet spans, so only access-bearing slots are common ground (their
+///    jam totals still reach the digest via the final counters);
+///  * every floating-point observable (contention, windows, latency
+///    stats) — those agree only to rounding across engines.
+class TraceDigest final : public Observer {
+ public:
+  void on_arrival(Slot slot, PacketId id, const Protocol& proto) override;
+  void on_departure(Slot slot, PacketId id, Slot arrival_slot, std::uint64_t accesses,
+                    std::uint64_t sends, double final_window) override;
+  void on_slot(const SlotInfo& info, const Counters& counters) override;
+  void on_run_end(const Counters& counters) override;
+
+  /// Digest of the stream so far (stable across platforms and builds).
+  std::uint64_t value() const noexcept { return hash_; }
+
+  /// `value()` as exactly 16 lowercase hex digits — the form packs and
+  /// manifests check in.
+  std::string hex() const;
+
+  /// Events folded in so far (arrivals + departures + access slots + end).
+  std::uint64_t events() const noexcept { return events_; }
+
+ private:
+  void mix(std::uint64_t word) noexcept;
+
+  std::uint64_t hash_ = 14695981039346656037ULL;  // FNV-1a 64-bit offset basis
+  std::uint64_t events_ = 0;
+};
+
 }  // namespace lowsense
