@@ -8,9 +8,12 @@
 // simulate.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "adversary/arrivals.hpp"
 #include "adversary/jammer.hpp"
 #include "core/rng.hpp"
+#include "core/rng_simd.hpp"
 #include "protocols/low_sensing.hpp"
 #include "protocols/mw_full_sensing.hpp"
 #include "sim/event_engine.hpp"
@@ -115,37 +118,88 @@ void BM_EventEngineJammed(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEngineJammed)->Arg(2048)->Unit(benchmark::kMillisecond);
 
+// Coin-pipeline grid: span in {2^10, 2^16, 2^20} x p in {0.01, 0.5, 0.99}
+// (p arrives as range(1)/1000 — google-benchmark args are integral). The
+// p sweep matters because the per-slot baseline branches on the coin
+// while the batched/SIMD kernels are branch-free: skew makes the scalar
+// loop look better than it is at p=0.5.
+#define LOWSENSE_COIN_SPAN_GRID \
+  ArgsProduct({{1 << 10, 1 << 16, 1 << 20}, {10, 500, 990}})
+
 void BM_ScalarCoinSpan(benchmark::State& state) {
   // The pre-batching quiet-span replay: one CounterRng Bernoulli call per
-  // slot. Baseline for BM_BatchedCoinSpan's delta.
+  // slot. Baseline for BM_BatchedCoinSpan / BM_SimdCoinSpan deltas.
   const CounterRng rng(1, 0xb1);
   const auto span = static_cast<std::uint64_t>(state.range(0));
+  const double p = static_cast<double>(state.range(1)) / 1000.0;
   Slot lo = 0;
   for (auto _ : state) {
     std::uint64_t n = 0;
-    for (Slot t = lo; t < lo + span; ++t) n += rng.bernoulli(t, 0.2);
+    for (Slot t = lo; t < lo + span; ++t) n += rng.bernoulli(t, p);
     benchmark::DoNotOptimize(n);
     lo += span;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(span));
 }
-BENCHMARK(BM_ScalarCoinSpan)->Arg(1 << 16);
+BENCHMARK(BM_ScalarCoinSpan)->LOWSENSE_COIN_SPAN_GRID;
 
 void BM_BatchedCoinSpan(benchmark::State& state) {
-  // The batched replay the jammers now use: integer-threshold coins in
-  // 64-slot popcount blocks (CounterRng::count_bernoulli_span).
+  // The batched replay, PINNED to the scalar kernel tier: integer-
+  // threshold coins in 64-slot popcount blocks. This is the pre-SIMD
+  // batched baseline; BM_SimdCoinSpan runs the same call through the
+  // dispatched tier, so the two series separate the batching win from
+  // the vectorization win.
   const CounterRng rng(1, 0xb1);
+  const simd::CoinKernels& scalar = simd::detail::scalar_kernels();
   const auto span = static_cast<std::uint64_t>(state.range(0));
+  const double p = static_cast<double>(state.range(1)) / 1000.0;
+  const std::uint64_t thr = CounterRng::bernoulli_threshold(p);
   Slot lo = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.count_bernoulli_span(lo, lo + span - 1, 0.2));
+    benchmark::DoNotOptimize(scalar.count_span(rng.key(), lo, lo + span - 1, thr, 0, ~0ULL));
     lo += span;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(span));
 }
-BENCHMARK(BM_BatchedCoinSpan)->Arg(1 << 16);
+BENCHMARK(BM_BatchedCoinSpan)->LOWSENSE_COIN_SPAN_GRID;
+
+void BM_SimdCoinSpan(benchmark::State& state) {
+  // count_bernoulli_span through the runtime-dispatched SIMD tier (the
+  // production path; see the "simd" label for which tier this host ran).
+  const CounterRng rng(1, 0xb1);
+  const auto span = static_cast<std::uint64_t>(state.range(0));
+  const double p = static_cast<double>(state.range(1)) / 1000.0;
+  Slot lo = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.count_bernoulli_span(lo, lo + span - 1, p));
+    lo += span;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(span));
+  state.SetLabel(std::string("simd=") + simd::active_tier_name());
+}
+BENCHMARK(BM_SimdCoinSpan)->LOWSENSE_COIN_SPAN_GRID;
+
+void BM_RandbandReplay(benchmark::State& state) {
+  // The jittered randband quiet-span replay (three slot-keyed hashes per
+  // slot: jam coin + two band-edge jitters) through the dispatched
+  // kernel — what RandomContentionJammer::count_quiet_range costs under
+  // jitter.
+  const CounterRng rng(1, 0xb1);
+  const auto span = static_cast<std::uint64_t>(state.range(0));
+  Slot lo = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rng.count_jittered_band_span(lo, lo + span - 1, 1.7, 0.5, 4.0, 0.25, 0.5));
+    lo += span;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(span));
+  state.SetLabel(std::string("simd=") + simd::active_tier_name());
+}
+BENCHMARK(BM_RandbandReplay)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_EventEngineRandomJammed(benchmark::State& state) {
   // Slot-keyed random jamming: quiet spans are accounted by replaying one

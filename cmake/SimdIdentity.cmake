@@ -1,0 +1,73 @@
+# Runs a binary twice — once forced to the scalar coin kernels
+# (LOWSENSE_SIMD=scalar) and once under the default runtime dispatch —
+# and fails unless stdout is byte-identical. With MANIFEST set, each run
+# also writes a --manifest= file and the two manifests are byte-diffed.
+# Any difference is a bit-identity break in a vector coin kernel
+# (core/rng_simd_*.cpp): the dispatched tier is an execution knob, never
+# a result knob.
+#
+# On hosts without any vector tier both runs dispatch to scalar and the
+# comparison is trivially green — the lane still guards the env-override
+# plumbing there.
+#
+# Arguments (via -D):
+#   BIN       full path of the executable (suite bench or lowsense_cli)
+#   ARGS      semicolon-separated arguments (tiny smoke config / --pack=)
+#   TAG       short name for the capture files
+#   WORK_DIR  scratch directory for the captures
+#   MANIFEST  optional: also pass --manifest=<WORK_DIR>/<TAG>.<run>.jsonl
+#             to each run and byte-compare the two files
+
+if(NOT DEFINED BIN OR NOT DEFINED TAG OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "SimdIdentity.cmake: BIN, TAG, and WORK_DIR are required")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(scalar_out ${WORK_DIR}/${TAG}.scalar.txt)
+set(dispatch_out ${WORK_DIR}/${TAG}.dispatch.txt)
+set(scalar_extra "")
+set(dispatch_extra "")
+if(MANIFEST)
+  set(scalar_manifest ${WORK_DIR}/${TAG}.scalar.manifest.jsonl)
+  set(dispatch_manifest ${WORK_DIR}/${TAG}.dispatch.manifest.jsonl)
+  set(scalar_extra --manifest=${scalar_manifest})
+  set(dispatch_extra --manifest=${dispatch_manifest})
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env LOWSENSE_SIMD=scalar
+          ${BIN} ${ARGS} ${scalar_extra}
+  OUTPUT_FILE ${scalar_out}
+  RESULT_VARIABLE rc_scalar)
+if(NOT rc_scalar EQUAL 0)
+  message(FATAL_ERROR "${TAG}: LOWSENSE_SIMD=scalar run exited with ${rc_scalar}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env --unset=LOWSENSE_SIMD
+          ${BIN} ${ARGS} ${dispatch_extra}
+  OUTPUT_FILE ${dispatch_out}
+  RESULT_VARIABLE rc_dispatch)
+if(NOT rc_dispatch EQUAL 0)
+  message(FATAL_ERROR "${TAG}: default-dispatch run exited with ${rc_dispatch}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${scalar_out} ${dispatch_out}
+  RESULT_VARIABLE rc_compare)
+if(NOT rc_compare EQUAL 0)
+  message(FATAL_ERROR
+          "${TAG}: scalar vs dispatched stdout differs — SIMD tier bit-identity "
+          "break (${scalar_out} vs ${dispatch_out})")
+endif()
+
+if(MANIFEST)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${scalar_manifest} ${dispatch_manifest}
+    RESULT_VARIABLE rc_manifest)
+  if(NOT rc_manifest EQUAL 0)
+    message(FATAL_ERROR
+            "${TAG}: scalar vs dispatched manifest differs — SIMD tier bit-identity "
+            "break (${scalar_manifest} vs ${dispatch_manifest})")
+  endif()
+endif()

@@ -28,6 +28,15 @@ observable paths:
                              [u]intptr_t, std::less<T*>): addresses vary
                              per run (ASLR, allocator), so any order they
                              induce is nondeterministic.
+  raw-simd                   intrinsic headers (<immintrin.h>,
+                             <arm_neon.h>, ...) or _mm*/NEON intrinsic
+                             calls outside src/core/rng_simd.*: ad-hoc
+                             vector code is where FP contraction and
+                             lane-order bugs silently fork results across
+                             hosts. All SIMD lives behind the CoinKernels
+                             dispatch table, whose tiers are proven
+                             bit-identical to scalar by the rng_simd test
+                             suite and the CI simd-identity lane.
   stream-rng-in-send-phase   stream-based Rng draws inside SimCore's
                              phase-1 send-draw section: phase 1 runs in
                              parallel per shard, where only slot-keyed
@@ -110,6 +119,26 @@ RULES = [
         r"|\breinterpret_cast<\s*(?:std::)?u?intptr_t\b",
         "pointer values vary per run (ASLR, allocator); ordering or hashing "
         "on addresses breaks replay — order by logical id",
+    ),
+    Rule(
+        "raw-simd",
+        # Intrinsic headers, x86 _mm/_mm256/_mm512 calls, and NEON-style
+        # v<op>_<type-suffix> calls. The header match is the backstop: no
+        # intrinsic compiles without one.
+        r'[<"][A-Za-z0-9_]*intrin\.h[>"]|[<"]arm_(?:neon|sve|acle)\.h[>"]'
+        r"|\b_mm(?:256|512)?_[a-z0-9_]+\s*\("
+        r"|\bv[a-z][a-z0-9_]*_[spuf](?:8|16|32|64)\s*\(",
+        "raw SIMD intrinsics outside src/core/rng_simd.* bypass the "
+        "CoinKernels dispatch table and its bit-identity proofs (tier "
+        "goldens, randomized identity, CI simd-identity lane); add a "
+        "kernel there instead",
+        exempt_paths=(
+            "src/core/rng_simd.hpp",
+            "src/core/rng_simd.cpp",
+            "src/core/rng_simd_avx2.cpp",
+            "src/core/rng_simd_avx512.cpp",
+            "src/core/rng_simd_neon.cpp",
+        ),
     ),
 ]
 

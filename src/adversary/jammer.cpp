@@ -129,15 +129,16 @@ bool RandomContentionJammer::hit(Slot slot, const SystemView& view) const noexce
   // Lanes 1/2 jitter each band edge outward by an independent uniform
   // amount in [0, jitter); lane 0 is the jam coin itself. All three are
   // keyed on the slot, so the decision replays identically in any order.
+  // The jittered decision is a length-1 call into the SIMD band-replay
+  // kernel — the same compiled FP math (-ffp-contract=off) the batched
+  // span path uses, so per-slot and span evaluation can never diverge.
   // Without jitter the edge draws are multiplied by zero — skip the two
   // hashes (this runs once per active slot on the slot engine).
   if (jitter_ != 0.0) {
-    const double lo_t = lo_ - jitter_ * rng_.draw_double(slot, 1);
-    const double hi_t = hi_ + jitter_ * rng_.draw_double(slot, 2);
-    if (view.contention < lo_t || view.contention > hi_t) return false;
-  } else if (view.contention < lo_ || view.contention > hi_) {
-    return false;
+    return rng_.count_jittered_band_span(slot, slot, view.contention, lo_, hi_, jitter_, rate_,
+                                         1) != 0;
   }
+  if (view.contention < lo_ || view.contention > hi_) return false;
   return rng_.bernoulli(slot, rate_, 0);
 }
 
@@ -166,7 +167,11 @@ std::uint64_t RandomContentionJammer::count_quiet_range(Slot lo, Slot hi,
     // draws in hit() are multiplied by zero, so skipping them is exact.
     n = rng_.count_bernoulli_span(lo, hi, rate_, remaining);
   } else {
-    for (Slot t = lo; t <= hi && n < remaining; ++t) n += hit(t, view);
+    // Full three-lane replay (jam coin + two edge jitters per slot),
+    // batched as interleaved SIMD lanes. Capping at the remaining budget
+    // mid-span is part of the trace, exactly as in the jitter-free path.
+    n = rng_.count_jittered_band_span(lo, hi, view.contention, lo_, hi_, jitter_, rate_,
+                                      remaining);
   }
   used_ += n;
   return n;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/rng_simd.hpp"
+
 namespace lowsense {
 
 std::uint64_t Rng::next_below(std::uint64_t n) noexcept {
@@ -73,30 +75,26 @@ std::uint64_t CounterRng::count_bernoulli_span(std::uint64_t lo, std::uint64_t h
   if (thr == 0) return 0;
   const std::uint64_t len = hi - lo + 1;
   if (thr == (1ULL << 53)) return len < cap ? len : cap;
-  std::uint64_t n = 0;
-  std::uint64_t c = lo;
-  // 64-coin blocks: build a success mask, popcount it. Counting is
-  // monotone, so min(total, cap) equals the loop-until-cap replay and
-  // the cap check only needs to run per block.
-  while (c <= hi && n < cap) {
-    const std::uint64_t block = std::min<std::uint64_t>(64, hi - c + 1);
-    std::uint64_t mask = 0;
-    for (std::uint64_t i = 0; i < block; ++i) {
-      mask |= static_cast<std::uint64_t>((draw_with_key(key_, c + i, lane) >> 11) < thr) << i;
-    }
-    n += static_cast<std::uint64_t>(__builtin_popcountll(mask));
-    if (c + block - 1 == hi) break;  // avoid overflow when hi is huge
-    c += block;
-  }
-  return n < cap ? n : cap;
+  // The coin loop runs on the dispatched SIMD kernel (bit-identical to
+  // scalar on every tier — see core/rng_simd.hpp).
+  return simd::kernels().count_span(key_, lo, hi, thr, lane, cap);
 }
 
 void CounterRng::bernoulli_batch(const std::uint64_t* keys, const double* ps, std::size_t n,
                                  std::uint64_t counter, std::uint8_t* out,
                                  std::uint64_t lane) noexcept {
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = (draw_with_key(keys[i], counter, lane) >> 11) < bernoulli_threshold(ps[i]);
-  }
+  simd::kernels().batch(keys, ps, n, counter, lane, out);
+}
+
+std::uint64_t CounterRng::count_jittered_band_span(std::uint64_t lo, std::uint64_t hi,
+                                                   double contention, double band_lo,
+                                                   double band_hi, double jitter, double rate,
+                                                   std::uint64_t cap) const noexcept {
+  if (hi < lo || cap == 0) return 0;
+  const std::uint64_t thr = bernoulli_threshold(rate);
+  if (thr == 0) return 0;  // the lane-0 coin never hits, band or no band
+  return simd::kernels().jittered_band_span(key_, lo, hi, contention, band_lo, band_hi, jitter,
+                                            thr, cap);
 }
 
 }  // namespace lowsense

@@ -171,9 +171,12 @@ class CounterRng {
   // evaluated in one call with no visible state: the batched forms below
   // produce bit-for-bit the same decisions as the equivalent loop of
   // `bernoulli` calls, but branch-free (integer threshold compare — see
-  // bernoulli_threshold) and in 64-coin popcount blocks. They are the
-  // hot path of the sharded engine's send-draw phase and of the
-  // randomized jammers' quiet-span replay.
+  // bernoulli_threshold). They are the hot path of the sharded engine's
+  // send-draw phase and of the randomized jammers' quiet-span replay,
+  // and they execute on the runtime-dispatched SIMD coin kernels
+  // (core/rng_simd.hpp): 4/8/2 hashes per instruction on
+  // AVX2/AVX-512/NEON, with a scalar fallback. Every tier is
+  // bit-identical to scalar, so dispatch is invisible to results.
 
   /// The integer threshold T with `draw_double(c,l) < p  <=>  draw(c,l)
   /// >> 11 < T`. Exact: x * 2^-53 and p * 2^53 are both power-of-two
@@ -200,6 +203,25 @@ class CounterRng {
   static void bernoulli_batch(const std::uint64_t* keys, const double* ps, std::size_t n,
                               std::uint64_t counter, std::uint8_t* out,
                               std::uint64_t lane = 0) noexcept;
+
+  /// The jittered contention-band replay (RandomContentionJammer::hit as
+  /// a span): for each counter t in [lo, hi], lanes 1/2 jitter the band
+  /// edges outward by jitter * draw_double(t, lane) and lane 0 draws the
+  /// jam coin — exactly
+  ///   n = 0;
+  ///   for (t = lo; t <= hi && n < cap; ++t) {
+  ///     lo_t = band_lo - jitter * draw_double(t, 1);
+  ///     hi_t = band_hi + jitter * draw_double(t, 2);
+  ///     if (!(contention < lo_t || contention > hi_t))
+  ///       n += bernoulli(t, rate, 0);
+  ///   }
+  /// but with all three hashes per slot evaluated as interleaved SIMD
+  /// lanes. The FP band math is individually rounded (the kernels build
+  /// with -ffp-contract=off), so results are bit-identical on every
+  /// tier and target.
+  std::uint64_t count_jittered_band_span(std::uint64_t lo, std::uint64_t hi, double contention,
+                                         double band_lo, double band_hi, double jitter,
+                                         double rate, std::uint64_t cap = ~0ULL) const noexcept;
 
  private:
   /// SplitMix64 finalizer: full-avalanche 64-bit mix.
